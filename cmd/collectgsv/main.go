@@ -1,0 +1,99 @@
+// Command collectgsv drives the §IV-A data-collection loop against a
+// running street-view API service (cmd/gsvserve): segment the synthetic
+// counties, sample coordinates, download all four headings per
+// coordinate with bounded concurrency and retries, and write the images
+// to disk.
+//
+// Usage:
+//
+//	gsvserve -addr :8081 -keys demo &
+//	collectgsv -server http://localhost:8081 -key demo -coords 50 -out ./frames
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nbhd/internal/collect"
+	"nbhd/internal/geo"
+	"nbhd/internal/gsv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "collectgsv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	server := flag.String("server", "", "street-view API base URL (required)")
+	key := flag.String("key", "", "API key")
+	coords := flag.Int("coords", 50, "coordinates to sample (4 frames each)")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	size := flag.Int("size", 640, "requested image size")
+	out := flag.String("out", "frames", "output directory")
+	concurrency := flag.Int("concurrency", 4, "parallel downloads")
+	flag.Parse()
+
+	if *server == "" {
+		return fmt.Errorf("-server is required")
+	}
+	// Rebuild the same sampling frame the server's corpus came from.
+	rural, urban, err := geo.StudyCounties(*seed)
+	if err != nil {
+		return err
+	}
+	rp, up, err := geo.SampleFrame(rural, urban)
+	if err != nil {
+		return err
+	}
+	points := geo.SelectSample(append(rp, up...), *coords, *seed+7)
+
+	client, err := gsv.NewClient(gsv.ClientConfig{BaseURL: *server, APIKey: *key, CacheSize: 64})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	start := time.Now()
+	frames, err := collect.Collect(ctx, client, points, collect.Options{
+		Size:        *size,
+		Concurrency: *concurrency,
+		Progress: func(done, total int) {
+			if done%20 == 0 || done == total {
+				fmt.Printf("\r%d/%d frames", done, total)
+			}
+		},
+	})
+	fmt.Println()
+	if err != nil {
+		return err
+	}
+	for _, fr := range frames {
+		name := fmt.Sprintf("frame-%04d-%03d.png", fr.PointIndex, int(fr.Heading))
+		f, err := os.Create(filepath.Join(*out, name))
+		if err != nil {
+			return err
+		}
+		err = fr.Image.EncodePNG(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", name, err)
+		}
+	}
+	hits, misses := client.CacheStats()
+	fmt.Printf("collected %d frames in %v (cache %d hits / %d misses) into %s\n",
+		len(frames), time.Since(start).Round(time.Millisecond), hits, misses, *out)
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command gsvgen generates the synthetic two-county street-view corpus:
+// the sampling frame, the 1,200-frame study sample, LabelMe annotations,
+// and (optionally) rendered PNGs — the stand-in for the paper's §IV-A
+// data collection.
+//
+// Usage:
+//
+//	gsvgen -coords 300 -seed 1 -out ./corpus -render 0
+//
+// With -render N > 0, PNGs are written at NxN alongside the annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/labelme"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsvgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	coords := flag.Int("coords", dataset.StudyCoordinates, "sampled coordinates (4 frames each)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "", "output directory for annotations and images (empty = stats only)")
+	renderSize := flag.Int("render", 0, "PNG render size (0 = skip image files)")
+	flag.Parse()
+
+	study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: *coords, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	stats := study.Stats()
+	fmt.Printf("corpus: %d frames over %d coordinates (%s %d, %s %d)\n",
+		stats.Frames, *coords, study.Rural.Name, stats.ByCounty[study.Rural.Name],
+		study.Urban.Name, stats.ByCounty[study.Urban.Name])
+	fmt.Printf("%-18s %8s %8s\n", "indicator", "objects", "images")
+	for _, ind := range scene.Indicators() {
+		fmt.Printf("%-18s %8d %8d\n", ind.String(), stats.Objects[ind.Index()], stats.ImagesWith[ind.Index()])
+	}
+	fmt.Printf("%-18s %8d\n", "total", stats.TotalObjects)
+
+	if *out == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	labeler, err := labelme.NewLabeler(labelme.LabelerConfig{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	size := *renderSize
+	annSize := size
+	if annSize == 0 {
+		annSize = render.DefaultWidth
+	}
+	for _, fr := range study.Frames {
+		rec, err := labeler.Annotate(fr.Scene, annSize, annSize)
+		if err != nil {
+			return err
+		}
+		annPath := filepath.Join(*out, fr.Scene.ID+".json")
+		f, err := os.Create(annPath)
+		if err != nil {
+			return err
+		}
+		err = rec.Encode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s: %w", annPath, err)
+		}
+		if size > 0 {
+			img, err := render.Render(fr.Scene, render.Config{Width: size, Height: size})
+			if err != nil {
+				return err
+			}
+			pngPath := filepath.Join(*out, fr.Scene.ID+".png")
+			f, err := os.Create(pngPath)
+			if err != nil {
+				return err
+			}
+			err = img.EncodePNG(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("write %s: %w", pngPath, err)
+			}
+		}
+	}
+	fmt.Printf("wrote %d annotation files to %s\n", study.Len(), *out)
+	return nil
+}

@@ -1,0 +1,61 @@
+// Command gsvserve hosts the simulated Street View image API over a
+// generated study corpus, so collection tooling can be developed against
+// it exactly as against the real service.
+//
+// Usage:
+//
+//	gsvserve -addr :8081 -coords 300 -keys demo-key -quota 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/gsv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsvserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8081", "listen address")
+	coords := flag.Int("coords", dataset.StudyCoordinates, "sampled coordinates in the served corpus")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	keys := flag.String("keys", "", "comma-separated accepted API keys (empty = open)")
+	quota := flag.Int("quota", 0, "requests per key (0 = unlimited)")
+	maxSize := flag.Int("max-size", gsv.MaxImageSize, "maximum render size")
+	flag.Parse()
+
+	study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: *coords, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	var keyList []string
+	if *keys != "" {
+		keyList = strings.Split(*keys, ",")
+	}
+	srv, err := gsv.NewServer(study, gsv.ServerConfig{
+		APIKeys:       keyList,
+		QuotaPerKey:   *quota,
+		MaxRenderSize: *maxSize,
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("serving %d frames (%s + %s) on %s\n", study.Len(), study.Rural.Name, study.Urban.Name, *addr)
+	return httpSrv.ListenAndServe()
+}

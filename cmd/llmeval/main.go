@@ -1,0 +1,240 @@
+// Command llmeval reproduces the paper's LLM evaluation section: the
+// four per-model confusion tables (Tables III-VI), the parallel-vs-
+// sequential comparison (Fig. 4), the accuracy comparison with majority
+// voting (Fig. 5), the prompt-language sweep (Fig. 6), and the
+// temperature/top-p sweeps (§IV-C4).
+//
+// Usage:
+//
+//	llmeval -coords 300                 # everything, in-process
+//	llmeval -coords 150 -experiment f4  # just the Fig. 4 comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nbhd/internal/core"
+	"nbhd/internal/metrics"
+	"nbhd/internal/prompt"
+	"nbhd/internal/report"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "llmeval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	coords := flag.Int("coords", 150, "sampled coordinates (4 frames each)")
+	seed := flag.Int64("seed", 1, "seed")
+	experiment := flag.String("experiment", "all", "one of: all, tables, f4, f5, f6, params")
+	flag.Parse()
+
+	pipe, err := core.NewPipeline(core.Config{Coordinates: *coords, Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	switch *experiment {
+	case "all":
+		if err := tables(pipe); err != nil {
+			return err
+		}
+		if err := fig4(pipe); err != nil {
+			return err
+		}
+		if err := fig5(pipe); err != nil {
+			return err
+		}
+		if err := fig6(pipe); err != nil {
+			return err
+		}
+		return params(pipe)
+	case "tables":
+		return tables(pipe)
+	case "f4":
+		return fig4(pipe)
+	case "f5":
+		return fig5(pipe)
+	case "f6":
+		return fig6(pipe)
+	case "params":
+		return params(pipe)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+}
+
+func printReport(title string, rep *metrics.ClassReport) {
+	fmt.Printf("\n%s\n", title)
+	fmt.Printf("%-18s %9s %9s %9s %9s\n", "Label", "Precision", "Recall", "F1", "Accuracy")
+	for _, ind := range scene.Indicators() {
+		c := rep.Of(ind)
+		fmt.Printf("%-18s %9.2f %9.2f %9.2f %9.2f\n", ind.String(), c.Precision(), c.Recall(), c.F1(), c.Accuracy())
+	}
+	p, r, f1, acc := rep.Averages()
+	fmt.Printf("%-18s %9.2f %9.2f %9.2f %9.2f\n", "Average", p, r, f1, acc)
+}
+
+func tables(pipe *core.Pipeline) error {
+	reports, err := pipe.EvaluateAllLLMs(core.LLMOptions{})
+	if err != nil {
+		return err
+	}
+	for _, id := range vlm.AllModels() {
+		printReport(fmt.Sprintf("Table (%s) — parallel English prompts:", id), reports[id])
+	}
+	return nil
+}
+
+func evalModel(pipe *core.Pipeline, id vlm.ModelID, opts core.LLMOptions) (*metrics.ClassReport, error) {
+	profile, err := vlm.ProfileFor(id)
+	if err != nil {
+		return nil, err
+	}
+	m, err := vlm.NewModel(profile)
+	if err != nil {
+		return nil, err
+	}
+	return pipe.EvaluateClassifier(m, opts)
+}
+
+func fig4(pipe *core.Pipeline) error {
+	fmt.Println("\nFig. 4 — recall by prompting strategy:")
+	for _, id := range []vlm.ModelID{vlm.Gemini15Pro, vlm.ChatGPT4oMini} {
+		fmt.Printf("%s:\n%-18s %9s %9s\n", id, "Indicator", "Parallel", "Sequential")
+		par, err := evalModel(pipe, id, core.LLMOptions{Mode: prompt.Parallel})
+		if err != nil {
+			return err
+		}
+		seq, err := evalModel(pipe, id, core.LLMOptions{Mode: prompt.Sequential})
+		if err != nil {
+			return err
+		}
+		var pSum, sSum float64
+		for _, ind := range scene.Indicators() {
+			pr, sr := par.Of(ind).Recall(), seq.Of(ind).Recall()
+			pSum += pr
+			sSum += sr
+			fmt.Printf("%-18s %9.2f %9.2f\n", ind.Abbrev(), pr, sr)
+		}
+		fmt.Printf("%-18s %9.2f %9.2f\n", "Average", pSum/6, sSum/6)
+	}
+	return nil
+}
+
+func fig5(pipe *core.Pipeline) error {
+	fmt.Println("\nFig. 5 — average accuracy per model and majority voting:")
+	reports, err := pipe.EvaluateAllLLMs(core.LLMOptions{})
+	if err != nil {
+		return err
+	}
+	for _, id := range vlm.AllModels() {
+		_, _, _, acc := reports[id].Averages()
+		fmt.Printf("%-18s %6.2f%%\n", id, acc*100)
+	}
+	voting, err := pipe.RunMajorityVoting(reports, core.LLMOptions{})
+	if err != nil {
+		return err
+	}
+	_, _, _, acc := voting.Report.Averages()
+	fmt.Printf("%-18s %6.2f%%  (committee: %v)\n", "majority voting", acc*100, voting.Committee)
+
+	labels := make([]string, 0, 5)
+	values := make([]float64, 0, 5)
+	for _, id := range vlm.AllModels() {
+		_, _, _, a := reports[id].Averages()
+		labels = append(labels, string(id))
+		values = append(values, a)
+	}
+	labels = append(labels, "majority voting")
+	values = append(values, acc)
+	chart, err := report.BarChart("", labels, values, 50)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(chart)
+	return nil
+}
+
+func fig6(pipe *core.Pipeline) error {
+	fmt.Println("\nFig. 6 — Gemini recall by prompt language:")
+	fmt.Printf("%-18s", "Indicator")
+	for _, lang := range prompt.Languages() {
+		fmt.Printf(" %9s", lang)
+	}
+	fmt.Println()
+	reports := make(map[prompt.Language]*metrics.ClassReport, 4)
+	for _, lang := range prompt.Languages() {
+		rep, err := evalModel(pipe, vlm.Gemini15Pro, core.LLMOptions{Language: lang})
+		if err != nil {
+			return err
+		}
+		reports[lang] = rep
+	}
+	for _, ind := range scene.Indicators() {
+		fmt.Printf("%-18s", ind.Abbrev())
+		for _, lang := range prompt.Languages() {
+			fmt.Printf(" %9.2f", reports[lang].Of(ind).Recall())
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-18s", "Average")
+	for _, lang := range prompt.Languages() {
+		_, r, _, _ := reports[lang].Averages()
+		fmt.Printf(" %9.2f", r)
+	}
+	fmt.Println()
+
+	// Grouped chart over indicators per language.
+	labels := make([]string, 0, scene.NumIndicators)
+	for _, ind := range scene.Indicators() {
+		labels = append(labels, ind.Abbrev())
+	}
+	names := make([]string, 0, 4)
+	series := make(map[string][]float64, 4)
+	for _, lang := range prompt.Languages() {
+		names = append(names, lang.String())
+		vals := make([]float64, 0, scene.NumIndicators)
+		for _, ind := range scene.Indicators() {
+			vals = append(vals, reports[lang].Of(ind).Recall())
+		}
+		series[lang.String()] = vals
+	}
+	chart, err := report.GroupedBarChart("", labels, names, series, 40)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(chart)
+	return nil
+}
+
+func params(pipe *core.Pipeline) error {
+	fmt.Println("\n§IV-C4 — Gemini F1 by sampling parameters:")
+	fmt.Printf("%-24s %8s\n", "setting", "avg F1")
+	for _, temp := range []float64{0.1, vlm.DefaultTemperature, 1.5} {
+		rep, err := evalModel(pipe, vlm.Gemini15Pro, core.LLMOptions{Temperature: temp})
+		if err != nil {
+			return err
+		}
+		_, _, f1, _ := rep.Averages()
+		fmt.Printf("temperature %-12.1f %8.2f\n", temp, f1)
+	}
+	for _, topP := range []float64{0.5, 0.75, vlm.DefaultTopP} {
+		rep, err := evalModel(pipe, vlm.Gemini15Pro, core.LLMOptions{TopP: topP})
+		if err != nil {
+			return err
+		}
+		_, _, f1, _ := rep.Averages()
+		fmt.Printf("top-p %-18.2f %8.2f\n", topP, f1)
+	}
+	return nil
+}

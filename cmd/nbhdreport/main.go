@@ -1,0 +1,104 @@
+// Command nbhdreport runs the full Fig. 1 pipeline end to end: generate
+// the county corpus, classify every frame with the majority-voting
+// committee, fuse headings per coordinate, and print the neighborhood
+// environment report (tract scores and health-outcome associations).
+//
+// Usage:
+//
+//	nbhdreport -coords 150 -tract-feet 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nbhd/internal/core"
+	"nbhd/internal/ensemble"
+	"nbhd/internal/scene"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nbhdreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	coords := flag.Int("coords", 100, "sampled coordinates (4 frames each)")
+	seed := flag.Int64("seed", 1, "seed")
+	tractFeet := flag.Float64("tract-feet", 5000, "tract grid cell size in feet")
+	top := flag.Int("top", 5, "tracts to list per ranking")
+	flag.Parse()
+
+	pipe, err := core.NewPipeline(core.Config{Coordinates: *coords, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	committee, err := ensemble.PaperCommittee()
+	if err != nil {
+		return err
+	}
+	res, err := pipe.AnalyzeNeighborhood(committee, *tractFeet)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("analyzed %d coordinates into %d tracts (committee: %v)\n",
+		len(res.Locations), len(res.Tracts), committee.Members())
+
+	fmt.Println("\nmost walkable tracts:")
+	printTopScores(res, *top, func(s float64, best float64) bool { return s > best }, true)
+	fmt.Println("\nhighest-burden tracts:")
+	printTopScores(res, *top, func(s float64, best float64) bool { return s > best }, false)
+
+	fmt.Println("\nindicator-to-outcome associations (synthetic obesity model):")
+	fmt.Printf("%-18s %9s %5s\n", "indicator", "Pearson", "N")
+	for _, a := range res.Associations {
+		fmt.Printf("%-18s %9.3f %5d\n", a.Indicator.String(), a.Pearson, a.N)
+	}
+
+	fmt.Println("\ntract detail:")
+	fmt.Printf("%-22s %5s", "tract", "locs")
+	for _, ind := range scene.Indicators() {
+		fmt.Printf(" %5s", ind.Abbrev())
+	}
+	fmt.Println()
+	for _, tr := range res.Tracts {
+		fmt.Printf("%-22s %5d", tr.TractID, tr.Locations)
+		for _, ind := range scene.Indicators() {
+			fmt.Printf(" %5.2f", tr.Rates[ind.Index()])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// printTopScores lists the top-k tracts by walkability (walk=true) or
+// burden (walk=false) using selection without re-sorting the result.
+func printTopScores(res *core.NeighborhoodResult, k int, better func(a, b float64) bool, walk bool) {
+	type row struct {
+		id    string
+		score float64
+	}
+	rows := make([]row, 0, len(res.Scores))
+	for _, s := range res.Scores {
+		v := s.Burden
+		if walk {
+			v = s.Walkability
+		}
+		rows = append(rows, row{id: s.TractID, score: v})
+	}
+	// Simple selection of the top k.
+	for i := 0; i < k && i < len(rows); i++ {
+		best := i
+		for j := i + 1; j < len(rows); j++ {
+			if better(rows[j].score, rows[best].score) {
+				best = j
+			}
+		}
+		rows[i], rows[best] = rows[best], rows[i]
+		fmt.Printf("  %-22s %5.2f\n", rows[i].id, rows[i].score)
+	}
+}

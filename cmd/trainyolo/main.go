@@ -1,0 +1,124 @@
+// Command trainyolo trains and evaluates the supervised detector
+// baseline, reproducing Table I (per-class precision/recall/F1/mAP50)
+// and, with flags, the Fig. 2 augmentation ablation and Fig. 3 noise
+// sweep.
+//
+// Usage:
+//
+//	trainyolo -coords 300 -epochs 20 -size 64
+//	trainyolo -coords 150 -epochs 10 -augment flip
+//	trainyolo -coords 150 -epochs 10 -snr-sweep
+//	trainyolo -save model.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nbhd/internal/core"
+	"nbhd/internal/dataset"
+	"nbhd/internal/scene"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trainyolo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	coords := flag.Int("coords", 150, "sampled coordinates (4 frames each)")
+	seed := flag.Int64("seed", 1, "seed")
+	size := flag.Int("size", 64, "detector input resolution")
+	epochs := flag.Int("epochs", 20, "training epochs (paper: 20)")
+	batch := flag.Int("batch", 16, "batch size (paper: 16)")
+	augment := flag.String("augment", "", "augmentation arm: \"\", \"flip\", or \"flipcrop\" (Fig. 2)")
+	snrSweep := flag.Bool("snr-sweep", false, "evaluate under Gaussian noise at SNR 5..30 dB (Fig. 3)")
+	save := flag.String("save", "", "save trained model weights to this path")
+	quiet := flag.Bool("quiet", false, "suppress per-epoch loss output")
+	flag.Parse()
+
+	pipe, err := core.NewPipeline(core.Config{Coordinates: *coords, Seed: *seed, DetectorInputSize: *size})
+	if err != nil {
+		return err
+	}
+
+	var ops []dataset.AugmentOp
+	switch *augment {
+	case "":
+	case "flip":
+		ops = dataset.FlippingOps()
+	case "flipcrop":
+		ops = dataset.FlippingAndCroppingOps()
+	default:
+		return fmt.Errorf("unknown augment arm %q", *augment)
+	}
+
+	opts := core.BaselineOptions{Epochs: *epochs, BatchSize: *batch, Augment: ops}
+	if !*quiet {
+		opts.Progress = func(epoch int, loss float64) {
+			fmt.Printf("epoch %2d  loss %.4f\n", epoch, loss)
+		}
+	}
+	res, err := pipe.TrainBaseline(opts)
+	if err != nil {
+		return err
+	}
+	printTable1(res)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		err = res.Model.SaveParams(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("save model: %w", err)
+		}
+		fmt.Printf("saved model to %s\n", *save)
+	}
+
+	if *snrSweep {
+		fmt.Println("\nFig. 3 — F1 under Gaussian noise:")
+		fmt.Printf("%8s %8s\n", "SNR(dB)", "avg F1")
+		split, err := pipe.Study.Split(dataset.PaperSplit(), *seed+1)
+		if err != nil {
+			return err
+		}
+		test, err := pipe.Study.RenderExamples(split.Test, *size)
+		if err != nil {
+			return err
+		}
+		for _, snr := range dataset.SNRLevels() {
+			noisy := dataset.AddNoise(test, snr, *seed+3)
+			nres, err := pipe.EvaluateDetector(res.Model, noisy)
+			if err != nil {
+				return err
+			}
+			_, _, f1, _ := nres.Report.Averages()
+			fmt.Printf("%8.0f %8.3f\n", snr, f1)
+		}
+	}
+	return nil
+}
+
+func printTable1(res *core.BaselineResult) {
+	fmt.Println("\nTable I — detector baseline:")
+	fmt.Printf("%-18s %9s %9s %9s %9s\n", "Label", "Precision", "Recall", "F1", "AP50")
+	var pSum, rSum, fSum float64
+	for _, ind := range scene.Indicators() {
+		c := res.Report.Of(ind)
+		fmt.Printf("%-18s %9.3f %9.3f %9.3f %9.3f\n",
+			ind.String(), c.Precision(), c.Recall(), c.F1(), res.AP[ind].AP)
+		pSum += c.Precision()
+		rSum += c.Recall()
+		fSum += c.F1()
+	}
+	n := float64(scene.NumIndicators)
+	fmt.Printf("%-18s %9.3f %9.3f %9.3f %9.3f\n", "Average", pSum/n, rSum/n, fSum/n, res.MAP50)
+}

@@ -1,0 +1,12 @@
+// Package nbhd reproduces "Decoding Neighborhood Environments with Large
+// Language Models" (DSN 2025) as a pure-Go system: a synthetic
+// street-view substrate, a from-scratch convolutional detector standing
+// in for the YOLOv11 baseline, calibrated simulations of the four
+// commercial vision LLMs behind a real HTTP API, and the evaluation,
+// voting, and neighborhood-analysis pipeline on top.
+//
+// The package itself holds the benchmark harness (bench_test.go): one
+// benchmark per table and figure in the paper's evaluation section. The
+// library lives under internal/; the runnable tools under cmd/ and
+// examples/.
+package nbhd

@@ -1,0 +1,82 @@
+// Health study: the paper's §I motivation, end to end. Detect indicators
+// across a county with the LLM committee, aggregate to tracts, generate
+// synthetic health outcomes from the literature's coefficient signs
+// (powerlines raise obesity prevalence, sidewalks lower it), and show
+// that both the simple correlations and an adjusted OLS regression over
+// the *detected* (not ground-truth) indicator rates recover those signs —
+// i.e., the pipeline is accurate enough to support the downstream
+// epidemiology it is meant to feed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nbhd/internal/analysis"
+	"nbhd/internal/core"
+	"nbhd/internal/ensemble"
+	"nbhd/internal/scene"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "health_study:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pipe, err := core.NewPipeline(core.Config{Coordinates: 120, Seed: 23})
+	if err != nil {
+		return err
+	}
+	committee, err := ensemble.PaperCommittee()
+	if err != nil {
+		return err
+	}
+	fmt.Println("classifying 480 frames with the 3-model committee...")
+	res, err := pipe.AnalyzeNeighborhood(committee, 4000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aggregated %d coordinates into %d tracts\n\n", len(res.Locations), len(res.Tracts))
+
+	// Synthetic outcomes from the literature-shaped model.
+	health := analysis.DefaultObesityModel(29)
+	outcomes, err := health.Generate(res.Tracts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("simple correlations (detected indicator rate vs prevalence):")
+	assocs, err := analysis.Associations(res.Tracts, outcomes)
+	if err != nil {
+		return err
+	}
+	for _, a := range assocs {
+		fmt.Printf("  %-18s r = %+.3f\n", a.Indicator.String(), a.Pearson)
+	}
+
+	fmt.Println("\nadjusted OLS regression (all indicators jointly):")
+	fit, err := analysis.FitRegression(res.Tracts, outcomes)
+	if err != nil {
+		return err
+	}
+	for _, ind := range scene.Indicators() {
+		fmt.Printf("  %-18s beta = %+.3f\n", ind.String(), fit.Coef[ind.Index()])
+	}
+	fmt.Printf("  R² = %.3f over %d tracts\n", fit.R2, fit.N)
+
+	plSign := fit.Coef[scene.Powerline.Index()] > 0
+	swSign := fit.Coef[scene.Sidewalk.Index()] < 0
+	fmt.Println()
+	if plSign && swSign {
+		fmt.Println("the committee-detected indicators recover the generating model's")
+		fmt.Println("signs: powerline exposure positive, sidewalk access negative —")
+		fmt.Println("LLM-decoded environments can support neighborhood health analysis.")
+	} else {
+		fmt.Println("warning: detected indicators did not recover the expected signs;")
+		fmt.Println("increase the corpus size or committee accuracy.")
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// LLM ensemble over the wire: start the simulated LLM API service on a
+// local port, sweep a set of frames through all four models via the HTTP
+// client (with retries against injected 429s), majority-vote the top
+// three, and print the accuracy ladder — Fig. 5 reproduced end-to-end
+// through the network stack.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/ensemble"
+	"nbhd/internal/llmclient"
+	"nbhd/internal/llmserve"
+	"nbhd/internal/metrics"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "llm_ensemble:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Corpus: 40 coordinates x 4 headings.
+	study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 40, Seed: 3})
+	if err != nil {
+		return err
+	}
+	indices := make([]int, study.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	examples, err := study.RenderExamples(indices, 96)
+	if err != nil {
+		return err
+	}
+	images := make([]*render.Image, len(examples))
+	for i := range examples {
+		images[i] = examples[i].Image
+	}
+
+	// Service with mild chaos: 5% of requests get a 429.
+	srv, err := llmserve.NewBuiltin(llmserve.Config{
+		Failures: llmserve.FailureConfig{Prob429: 0.05, Seed: 9},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() { _ = httpSrv.Close() }()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("LLM service on %s (5%% injected 429s)\n", baseURL)
+
+	client, err := llmclient.New(llmclient.Config{BaseURL: baseURL, MaxRetries: 6, BaseBackoff: 5 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+
+	inds := scene.Indicators()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Sweep every model over the corpus through HTTP.
+	perModel := make(map[vlm.ModelID][][]bool, 4)
+	reports := make(map[vlm.ModelID]*metrics.ClassReport, 4)
+	for _, id := range vlm.AllModels() {
+		results, err := client.ClassifyBatch(ctx, id, images, inds[:], llmclient.ClassifyOptions{}, 8)
+		if err != nil {
+			return err
+		}
+		answers := make([][]bool, len(results))
+		var report metrics.ClassReport
+		for i, r := range results {
+			if r.Err != nil {
+				return fmt.Errorf("%s frame %d: %w", id, i, r.Err)
+			}
+			answers[i] = r.Answers
+			var pred [scene.NumIndicators]bool
+			copy(pred[:], r.Answers)
+			report.AddVector(pred, study.Frames[i].Scene.Presence())
+		}
+		perModel[id] = answers
+		reports[id] = &report
+		_, _, _, acc := report.Averages()
+		fmt.Printf("%-18s accuracy %.3f (%d frames over HTTP)\n", id, acc, len(images))
+	}
+
+	// Select the top three and vote their stored answers.
+	top, err := ensemble.SelectTop(reports, 3)
+	if err != nil {
+		return err
+	}
+	committee := make([]vlm.ModelID, len(top))
+	for i, s := range top {
+		committee[i] = s.ID
+	}
+	var votedReport metrics.ClassReport
+	for i := range images {
+		votes := make([][]bool, 0, len(committee))
+		for _, id := range committee {
+			votes = append(votes, perModel[id][i])
+		}
+		voted, err := ensemble.Vote(votes)
+		if err != nil {
+			return err
+		}
+		var pred [scene.NumIndicators]bool
+		copy(pred[:], voted)
+		votedReport.AddVector(pred, study.Frames[i].Scene.Presence())
+	}
+	_, _, _, votedAcc := votedReport.Averages()
+	fmt.Printf("%-18s accuracy %.3f (committee %v)\n", "majority voting", votedAcc, committee)
+	return nil
+}

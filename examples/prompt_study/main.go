@@ -1,0 +1,80 @@
+// Prompt study: how prompting choices move accuracy, at example scale.
+// Reproduces the direction of three of the paper's findings on one small
+// corpus: parallel beats sequential prompting (Fig. 4), English beats the
+// other prompt languages with a Chinese sidewalk collapse (Fig. 6), and
+// temperature barely matters (§IV-C4).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nbhd/internal/core"
+	"nbhd/internal/prompt"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "prompt_study:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pipe, err := core.NewPipeline(core.Config{Coordinates: 60, Seed: 17})
+	if err != nil {
+		return err
+	}
+	profile, err := vlm.ProfileFor(vlm.Gemini15Pro)
+	if err != nil {
+		return err
+	}
+	model, err := vlm.NewModel(profile)
+	if err != nil {
+		return err
+	}
+
+	// 1. Prompt structure.
+	fmt.Println("prompt structure (Gemini, avg recall):")
+	for _, mode := range []prompt.Mode{prompt.Parallel, prompt.Sequential} {
+		rep, err := pipe.EvaluateClassifier(model, core.LLMOptions{Mode: mode})
+		if err != nil {
+			return err
+		}
+		_, recall, _, _ := rep.Averages()
+		fmt.Printf("  %-12s %.3f\n", mode, recall)
+	}
+
+	// 2. Prompt language.
+	fmt.Println("\nprompt language (Gemini, avg recall / sidewalk recall):")
+	for _, lang := range prompt.Languages() {
+		rep, err := pipe.EvaluateClassifier(model, core.LLMOptions{Language: lang})
+		if err != nil {
+			return err
+		}
+		_, recall, _, _ := rep.Averages()
+		fmt.Printf("  %-10s %.3f / %.3f\n", lang, recall, rep.Of(scene.Sidewalk).Recall())
+	}
+
+	// 3. Temperature.
+	fmt.Println("\ntemperature (Gemini, avg F1):")
+	for _, temp := range []float64{0.1, 1.0, 1.5} {
+		rep, err := pipe.EvaluateClassifier(model, core.LLMOptions{Temperature: temp})
+		if err != nil {
+			return err
+		}
+		_, _, f1, _ := rep.Averages()
+		fmt.Printf("  %-6.1f %.3f\n", temp, f1)
+	}
+
+	// Show the actual prompt text the study sends.
+	order := prompt.PaperOrder()
+	text, err := prompt.ParallelPrompt(order[:], prompt.English)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nthe parallel prompt:\n%s\n", text)
+	return nil
+}

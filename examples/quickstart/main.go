@@ -1,0 +1,76 @@
+// Quickstart: generate one synthetic street-view frame, render it, ask a
+// simulated LLM about the six environmental indicators, and compare the
+// answers against ground truth — the library's core loop in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nbhd/internal/geo"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A sample point on an urban multilane road, facing along the road.
+	point := geo.SamplePoint{
+		Coordinate: geo.Coordinate{Lat: 35.99, Lng: -78.90},
+		RoadID:     1,
+		RoadClass:  geo.RoadMultiLane,
+		Urbanicity: 0.85,
+		BearingDeg: 0,
+	}
+
+	// Ground truth: which indicators the generator placed in the frame.
+	gen := scene.NewGenerator(nil)
+	frame, err := gen.Generate("quickstart-0000-n", point, geo.HeadingNorth, 7)
+	if err != nil {
+		return err
+	}
+
+	// Pixels: the synthetic stand-in for a Street View photograph.
+	img, err := render.Render(frame, render.Config{Width: 128, Height: 128})
+	if err != nil {
+		return err
+	}
+
+	// A simulated LLM, calibrated to the paper's Gemini 1.5 Pro.
+	profile, err := vlm.ProfileFor(vlm.Gemini15Pro)
+	if err != nil {
+		return err
+	}
+	model, err := vlm.NewModel(profile)
+	if err != nil {
+		return err
+	}
+
+	inds := scene.Indicators()
+	answers, err := model.Classify(vlm.Request{Image: img, Indicators: inds[:]})
+	if err != nil {
+		return err
+	}
+
+	truth := frame.Presence()
+	fmt.Printf("%-18s %8s %8s\n", "indicator", "truth", "LLM")
+	correct := 0
+	for i, ind := range inds {
+		mark := ""
+		if answers[i] == truth[i] {
+			correct++
+		} else {
+			mark = "  <-- wrong"
+		}
+		fmt.Printf("%-18s %8v %8v%s\n", ind.String(), truth[i], answers[i], mark)
+	}
+	fmt.Printf("\n%d/%d correct\n", correct, len(inds))
+	return nil
+}

@@ -1,0 +1,241 @@
+// Package analysis is the pipeline's final stage (Fig. 1's "Neighborhood
+// Environment Analysis"): aggregating per-frame indicator predictions
+// into coordinate- and tract-level environment profiles, scoring
+// neighborhoods, and estimating associations between environmental
+// indicators and (synthetic) health outcomes — the §I motivation that
+// powerline visibility correlates with obesity/diabetes prevalence while
+// sidewalk access correlates with better outcomes.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nbhd/internal/geo"
+	"nbhd/internal/scene"
+)
+
+// LocationProfile is one coordinate's fused indicator presence.
+type LocationProfile struct {
+	Coordinate geo.Coordinate
+	County     string
+	Presence   [scene.NumIndicators]bool
+}
+
+// TractProfile aggregates locations into one analysis unit.
+type TractProfile struct {
+	// TractID names the tract, e.g. "robeson-03-05".
+	TractID string
+	// County is the tract's county.
+	County string
+	// Locations is the number of aggregated coordinates.
+	Locations int
+	// Rates holds per-indicator presence fractions in [0,1].
+	Rates [scene.NumIndicators]float64
+}
+
+// Tracts buckets location profiles into a grid of the given cell size in
+// feet (per county) and computes per-tract indicator rates — the unit at
+// which public-health studies correlate environment with outcomes.
+func Tracts(locations []LocationProfile, cellFeet float64) ([]TractProfile, error) {
+	if cellFeet <= 0 {
+		return nil, fmt.Errorf("analysis: tract cell size must be positive, got %f", cellFeet)
+	}
+	if len(locations) == 0 {
+		return nil, fmt.Errorf("analysis: no locations")
+	}
+	type acc struct {
+		county string
+		count  int
+		yes    [scene.NumIndicators]int
+	}
+	cells := make(map[string]*acc)
+	for _, loc := range locations {
+		gx := int(loc.Coordinate.Lng * geo.FeetPerDegreeLat * math.Cos(loc.Coordinate.Lat*math.Pi/180) / cellFeet)
+		gy := int(loc.Coordinate.Lat * geo.FeetPerDegreeLat / cellFeet)
+		key := fmt.Sprintf("%s-%d-%d", loc.County, gy, gx)
+		a, ok := cells[key]
+		if !ok {
+			a = &acc{county: loc.County}
+			cells[key] = a
+		}
+		a.count++
+		for k := 0; k < scene.NumIndicators; k++ {
+			if loc.Presence[k] {
+				a.yes[k]++
+			}
+		}
+	}
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]TractProfile, 0, len(keys))
+	for _, key := range keys {
+		a := cells[key]
+		tp := TractProfile{TractID: key, County: a.county, Locations: a.count}
+		for k := 0; k < scene.NumIndicators; k++ {
+			tp.Rates[k] = float64(a.yes[k]) / float64(a.count)
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+// EnvironmentScore summarizes a tract on two axes used across the
+// neighborhood-health literature: walkability (sidewalks, streetlights)
+// and infrastructure burden (visible powerlines, absence of multilane
+// access).
+type EnvironmentScore struct {
+	TractID string
+	// Walkability in [0,1]: mean of sidewalk and streetlight rates.
+	Walkability float64
+	// Burden in [0,1]: powerline rate, discounted by road access.
+	Burden float64
+}
+
+// Score computes environment scores per tract.
+func Score(tracts []TractProfile) []EnvironmentScore {
+	out := make([]EnvironmentScore, 0, len(tracts))
+	for _, tp := range tracts {
+		sw := tp.Rates[scene.Sidewalk.Index()]
+		sl := tp.Rates[scene.Streetlight.Index()]
+		pl := tp.Rates[scene.Powerline.Index()]
+		mr := tp.Rates[scene.MultilaneRoad.Index()]
+		out = append(out, EnvironmentScore{
+			TractID:     tp.TractID,
+			Walkability: (sw + sl) / 2,
+			Burden:      clamp01(pl - 0.2*mr),
+		})
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// HealthModel is the synthetic outcome generator standing in for the
+// public-health statistics the paper's motivating literature links to
+// street-view indicators. Prevalence is a logistic function of indicator
+// rates with documented coefficient signs: powerlines raise obesity and
+// diabetes risk; sidewalks and streetlights lower it.
+type HealthModel struct {
+	// Intercept is the baseline log-odds.
+	Intercept float64
+	// Coef holds per-indicator log-odds coefficients.
+	Coef [scene.NumIndicators]float64
+	// NoiseSD perturbs tract prevalence (normal, truncated to [0,1]).
+	NoiseSD float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultObesityModel returns coefficients matching the literature's
+// directional findings ([5], [6] in the paper).
+func DefaultObesityModel(seed int64) HealthModel {
+	var coef [scene.NumIndicators]float64
+	coef[scene.Powerline.Index()] = 0.9
+	coef[scene.Sidewalk.Index()] = -0.7
+	coef[scene.Streetlight.Index()] = -0.4
+	coef[scene.Apartment.Index()] = 0.2
+	return HealthModel{Intercept: -0.6, Coef: coef, NoiseSD: 0.03, Seed: seed}
+}
+
+// Outcome is one tract's synthetic health statistic.
+type Outcome struct {
+	TractID    string
+	Prevalence float64
+}
+
+// Generate produces per-tract outcome prevalence under the model.
+func (h *HealthModel) Generate(tracts []TractProfile) ([]Outcome, error) {
+	if len(tracts) == 0 {
+		return nil, fmt.Errorf("analysis: no tracts")
+	}
+	if h.NoiseSD < 0 {
+		return nil, fmt.Errorf("analysis: noise SD must be non-negative, got %f", h.NoiseSD)
+	}
+	rng := rand.New(rand.NewSource(h.Seed))
+	out := make([]Outcome, 0, len(tracts))
+	for _, tp := range tracts {
+		logit := h.Intercept
+		for k := 0; k < scene.NumIndicators; k++ {
+			logit += h.Coef[k] * tp.Rates[k]
+		}
+		p := 1/(1+math.Exp(-logit)) + rng.NormFloat64()*h.NoiseSD
+		out = append(out, Outcome{TractID: tp.TractID, Prevalence: clamp01(p)})
+	}
+	return out, nil
+}
+
+// Association is the estimated relationship between one indicator's tract
+// rate and an outcome.
+type Association struct {
+	Indicator scene.Indicator
+	// Pearson is the correlation coefficient in [-1,1].
+	Pearson float64
+	// N is the number of tracts.
+	N int
+}
+
+// Associations computes the Pearson correlation between each indicator's
+// tract rates and outcome prevalence, pairing by tract ID.
+func Associations(tracts []TractProfile, outcomes []Outcome) ([]Association, error) {
+	if len(tracts) != len(outcomes) {
+		return nil, fmt.Errorf("analysis: %d tracts vs %d outcomes", len(tracts), len(outcomes))
+	}
+	byID := make(map[string]float64, len(outcomes))
+	for _, o := range outcomes {
+		byID[o.TractID] = o.Prevalence
+	}
+	out := make([]Association, 0, scene.NumIndicators)
+	for _, ind := range scene.Indicators() {
+		var xs, ys []float64
+		for _, tp := range tracts {
+			y, ok := byID[tp.TractID]
+			if !ok {
+				return nil, fmt.Errorf("analysis: no outcome for tract %s", tp.TractID)
+			}
+			xs = append(xs, tp.Rates[ind.Index()])
+			ys = append(ys, y)
+		}
+		out = append(out, Association{Indicator: ind, Pearson: pearson(xs, ys), N: len(xs)})
+	}
+	return out, nil
+}
+
+// pearson computes the correlation coefficient; degenerate variance
+// yields 0.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,250 @@
+// Package classify implements the multi-label scene-classification
+// baseline the paper compares against (§IV-B3): prior work (Keralis
+// et al.'s VGG-16, Nguyen et al.'s VGG-19, Alirezaei et al.'s ResNet-18)
+// predicts image-level indicator presence directly, without localization.
+// The model here is a compact CNN with the same backbone family as the
+// detector but a presence head — enough to reproduce the paper's finding
+// that the detection-based pipeline beats scene classification.
+package classify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/metrics"
+	"nbhd/internal/nn"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+	"nbhd/internal/tensor"
+)
+
+// Config describes the classifier architecture.
+type Config struct {
+	// InputSize is the square input resolution; must be divisible by 8.
+	// Zero defaults to 64.
+	InputSize int
+	// Channels are the three backbone stage widths; zero defaults to
+	// [8, 16, 32].
+	Channels [3]int
+	// Seed initializes weights.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InputSize == 0 {
+		c.InputSize = 64
+	}
+	if c.Channels == [3]int{} {
+		c.Channels = [3]int{8, 16, 32}
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.InputSize < 16 || c.InputSize%8 != 0 {
+		return fmt.Errorf("classify: input size %d must be >= 16 and divisible by 8", c.InputSize)
+	}
+	for i, ch := range c.Channels {
+		if ch <= 0 {
+			return fmt.Errorf("classify: stage %d channels %d must be positive", i, ch)
+		}
+	}
+	return nil
+}
+
+// Model is the multi-label presence classifier.
+type Model struct {
+	cfg Config
+	net *nn.Sequential
+}
+
+// New builds a randomly initialized classifier.
+func New(cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var layers []nn.Layer
+	in := render.Channels
+	for _, out := range cfg.Channels {
+		conv, err := nn.NewConv2D(in, out, 3, 1, 1, rng)
+		if err != nil {
+			return nil, fmt.Errorf("classify: %w", err)
+		}
+		relu, err := nn.NewLeakyReLU(0.1)
+		if err != nil {
+			return nil, fmt.Errorf("classify: %w", err)
+		}
+		pool, err := nn.NewMaxPool2D(2, 0)
+		if err != nil {
+			return nil, fmt.Errorf("classify: %w", err)
+		}
+		layers = append(layers, conv, relu, pool)
+		in = out
+	}
+	grid := cfg.InputSize / 8
+	head, err := nn.NewLinear(in*grid*grid, scene.NumIndicators, rng)
+	if err != nil {
+		return nil, fmt.Errorf("classify: %w", err)
+	}
+	layers = append(layers, head)
+	return &Model{cfg: cfg, net: nn.NewSequential(layers...)}, nil
+}
+
+// InputSize returns the expected input resolution.
+func (m *Model) InputSize() int { return m.cfg.InputSize }
+
+// ParamCount returns the number of trainable scalars.
+func (m *Model) ParamCount() int { return m.net.ParamCount() }
+
+// batchTensors packs examples into input and target tensors.
+func (m *Model) batchTensors(batch []dataset.Example) (*tensor.Tensor, *tensor.Tensor, error) {
+	s := m.cfg.InputSize
+	x := tensor.MustNew(len(batch), render.Channels, s, s)
+	y := tensor.MustNew(len(batch), scene.NumIndicators)
+	per := render.Channels * s * s
+	for i := range batch {
+		img := batch[i].Image
+		if img.W != s || img.H != s {
+			return nil, nil, fmt.Errorf("classify: image %d is %dx%d, model expects %dx%d", i, img.W, img.H, s, s)
+		}
+		copy(x.Data[i*per:(i+1)*per], img.Pix)
+		pres := batch[i].Presence()
+		for k := 0; k < scene.NumIndicators; k++ {
+			if pres[k] {
+				y.Set(1, i, k)
+			}
+		}
+	}
+	return x, y, nil
+}
+
+// TrainConfig holds the classifier's training hyperparameters.
+type TrainConfig struct {
+	// Epochs defaults to 20 (matching the detector protocol).
+	Epochs int
+	// BatchSize defaults to 16.
+	BatchSize int
+	// LearningRate defaults to 2e-3 with Adam.
+	LearningRate float64
+	// Seed drives shuffling.
+	Seed int64
+	// Progress receives per-epoch losses.
+	Progress func(epoch int, loss float64)
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 2e-3
+	}
+	return c
+}
+
+// Train fits the classifier with multi-label binary cross entropy.
+func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Epochs < 1 || cfg.BatchSize < 1 || cfg.LearningRate <= 0 {
+		return fmt.Errorf("classify: invalid training config %+v", cfg)
+	}
+	if len(examples) == 0 {
+		return fmt.Errorf("classify: no training examples")
+	}
+	opt, err := nn.NewAdam(cfg.LearningRate, 0, 0, 0)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := make([]dataset.Example, 0, end-start)
+			for _, idx := range order[start:end] {
+				batch = append(batch, examples[idx])
+			}
+			x, y, err := m.batchTensors(batch)
+			if err != nil {
+				return err
+			}
+			out, err := m.net.Forward(x, true)
+			if err != nil {
+				return fmt.Errorf("classify: forward: %w", err)
+			}
+			loss, grad, err := nn.BCEWithLogits(out, y, nil)
+			if err != nil {
+				return fmt.Errorf("classify: loss: %w", err)
+			}
+			m.net.ZeroGrads()
+			if _, err := m.net.Backward(grad); err != nil {
+				return fmt.Errorf("classify: backward: %w", err)
+			}
+			if _, err := nn.ClipGradNorm(m.net.Params(), 10); err != nil {
+				return err
+			}
+			if err := opt.Step(m.net.Params()); err != nil {
+				return err
+			}
+			epochLoss += loss
+			batches++
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, epochLoss/float64(batches))
+		}
+	}
+	return nil
+}
+
+// Predict returns per-indicator presence probabilities for one image.
+func (m *Model) Predict(img *render.Image) ([scene.NumIndicators]float64, error) {
+	var out [scene.NumIndicators]float64
+	x, _, err := m.batchTensors([]dataset.Example{{Image: img}})
+	if err != nil {
+		return out, err
+	}
+	logits, err := m.net.Forward(x, false)
+	if err != nil {
+		return out, fmt.Errorf("classify: forward: %w", err)
+	}
+	probs := nn.Sigmoid(logits)
+	for k := 0; k < scene.NumIndicators; k++ {
+		out[k] = float64(probs.At(0, k))
+	}
+	return out, nil
+}
+
+// Evaluate scores the classifier's thresholded presence predictions.
+func (m *Model) Evaluate(examples []dataset.Example, threshold float64) (*metrics.ClassReport, error) {
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("classify: threshold %f outside (0,1)", threshold)
+	}
+	var report metrics.ClassReport
+	for i := range examples {
+		probs, err := m.Predict(examples[i].Image)
+		if err != nil {
+			return nil, fmt.Errorf("classify: evaluate %s: %w", examples[i].ID, err)
+		}
+		var pred [scene.NumIndicators]bool
+		for k := range probs {
+			pred[k] = probs[k] >= threshold
+		}
+		report.AddVector(pred, examples[i].Presence())
+	}
+	return &report, nil
+}

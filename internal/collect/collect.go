@@ -1,0 +1,157 @@
+// Package collect implements the paper's §IV-A data-collection loop as a
+// client of the street-view API: for each sampled coordinate, request all
+// four cardinal headings, with bounded concurrency, per-request retry,
+// and progress reporting — the tooling that would have driven the real
+// GSV API "through an API fee".
+package collect
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"nbhd/internal/geo"
+	"nbhd/internal/gsv"
+	"nbhd/internal/render"
+)
+
+// Frame is one collected image with its request provenance.
+type Frame struct {
+	// PointIndex is the coordinate's position in the request plan.
+	PointIndex int
+	// Heading is the camera direction requested.
+	Heading geo.Heading
+	// Image is the downloaded frame.
+	Image *render.Image
+}
+
+// Options configures a collection run.
+type Options struct {
+	// Size is the requested square image size; zero means the service
+	// default (640).
+	Size int
+	// Concurrency bounds parallel requests; zero defaults to 4.
+	Concurrency int
+	// Retries is the per-frame retry count on failure; zero defaults
+	// to 2.
+	Retries int
+	// RetryDelay is the pause between retries; zero defaults to 100ms.
+	RetryDelay time.Duration
+	// Progress, when non-nil, is called after each frame completes with
+	// the number done and the total.
+	Progress func(done, total int)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Concurrency == 0 {
+		o.Concurrency = 4
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.RetryDelay == 0 {
+		o.RetryDelay = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Collect downloads all four headings for every sample point. It fails
+// fast on context cancellation but retries individual frame errors; the
+// returned frames are ordered by (point index, heading).
+func Collect(ctx context.Context, client *gsv.Client, points []geo.SamplePoint, opts Options) ([]Frame, error) {
+	if client == nil {
+		return nil, fmt.Errorf("collect: nil client")
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("collect: no sample points")
+	}
+	opts = opts.withDefaults()
+	if opts.Concurrency < 1 {
+		return nil, fmt.Errorf("collect: concurrency %d must be >= 1", opts.Concurrency)
+	}
+
+	headings := geo.CardinalHeadings()
+	total := len(points) * len(headings)
+	frames := make([]Frame, total)
+	errs := make([]error, total)
+
+	type job struct {
+		slot    int
+		point   geo.SamplePoint
+		ptIdx   int
+		heading geo.Heading
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var done int
+	var mu sync.Mutex
+
+	worker := func() {
+		defer wg.Done()
+		for j := range jobs {
+			img, err := fetchWithRetry(ctx, client, j.point.Coordinate, j.heading, opts)
+			if err != nil {
+				errs[j.slot] = fmt.Errorf("collect: point %d heading %v: %w", j.ptIdx, j.heading, err)
+			} else {
+				frames[j.slot] = Frame{PointIndex: j.ptIdx, Heading: j.heading, Image: img}
+			}
+			if opts.Progress != nil {
+				mu.Lock()
+				done++
+				opts.Progress(done, total)
+				mu.Unlock()
+			}
+		}
+	}
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go worker()
+	}
+	slot := 0
+dispatch:
+	for pi, p := range points {
+		for _, h := range headings {
+			select {
+			case <-ctx.Done():
+				break dispatch
+			case jobs <- job{slot: slot, point: p, ptIdx: pi, heading: h}:
+				slot++
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("collect: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return frames, nil
+}
+
+// fetchWithRetry attempts one frame with the configured retry budget.
+func fetchWithRetry(ctx context.Context, client *gsv.Client, loc geo.Coordinate, h geo.Heading, opts Options) (*render.Image, error) {
+	var lastErr error
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(opts.RetryDelay):
+			}
+		}
+		img, err := client.FetchImage(ctx, loc, h, opts.Size)
+		if err == nil {
+			return img, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("retries exhausted: %w", lastErr)
+}

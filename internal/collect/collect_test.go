@@ -1,0 +1,141 @@
+package collect
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/geo"
+	"nbhd/internal/gsv"
+)
+
+func setup(t *testing.T) (*gsv.Client, *dataset.Study) {
+	t.Helper()
+	st, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 6, Seed: 5})
+	if err != nil {
+		t.Fatalf("BuildStudy: %v", err)
+	}
+	srv, err := gsv.NewServer(st, gsv.ServerConfig{})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client, err := gsv.NewClient(gsv.ClientConfig{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return client, st
+}
+
+func studyPoints(st *dataset.Study, n int) []geo.SamplePoint {
+	points := make([]geo.SamplePoint, 0, n)
+	for i := 0; i < n; i++ {
+		points = append(points, st.Frames[i*4].Scene.Point)
+	}
+	return points
+}
+
+func TestCollectHappyPath(t *testing.T) {
+	client, st := setup(t)
+	points := studyPoints(st, 3)
+	var calls int
+	frames, err := Collect(context.Background(), client, points, Options{
+		Size:        64,
+		Concurrency: 3,
+		Progress:    func(done, total int) { calls = done },
+	})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(frames) != 12 {
+		t.Fatalf("frames = %d, want 12 (3 points x 4 headings)", len(frames))
+	}
+	if calls != 12 {
+		t.Errorf("progress calls reached %d", calls)
+	}
+	headings := geo.CardinalHeadings()
+	for i, f := range frames {
+		if f.Image == nil || f.Image.W != 64 {
+			t.Fatalf("frame %d bad image", i)
+		}
+		if f.PointIndex != i/4 {
+			t.Errorf("frame %d point index %d", i, f.PointIndex)
+		}
+		if f.Heading != headings[i%4] {
+			t.Errorf("frame %d heading %v, want %v", i, f.Heading, headings[i%4])
+		}
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	client, st := setup(t)
+	if _, err := Collect(context.Background(), nil, studyPoints(st, 1), Options{}); err == nil {
+		t.Error("nil client accepted")
+	}
+	if _, err := Collect(context.Background(), client, nil, Options{}); err == nil {
+		t.Error("empty plan accepted")
+	}
+	if _, err := Collect(context.Background(), client, studyPoints(st, 1), Options{Concurrency: -1}); err == nil {
+		t.Error("negative concurrency accepted")
+	}
+}
+
+func TestCollectRetriesTransientFailures(t *testing.T) {
+	// A quota'd server: the first requests drain the quota and later
+	// ones fail permanently — retries must not loop forever and the
+	// error must surface.
+	st, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := gsv.NewServer(st, gsv.ServerConfig{APIKeys: []string{"k"}, QuotaPerKey: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client, err := gsv.NewClient(gsv.ClientConfig{BaseURL: ts.URL, APIKey: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Collect(context.Background(), client, studyPoints(st, 2), Options{
+		Size:        48,
+		Concurrency: 1,
+		Retries:     1,
+		RetryDelay:  time.Millisecond,
+	})
+	if err == nil {
+		t.Error("quota exhaustion not surfaced")
+	}
+}
+
+func TestCollectContextCancellation(t *testing.T) {
+	client, st := setup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Collect(ctx, client, studyPoints(st, 3), Options{Size: 48}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestCollectedImagesMatchDirectFetch(t *testing.T) {
+	client, st := setup(t)
+	points := studyPoints(st, 1)
+	frames, err := Collect(context.Background(), client, points, Options{Size: 48, Concurrency: 2})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	direct, err := client.FetchImage(context.Background(), points[0].Coordinate, geo.HeadingNorth, 48)
+	if err != nil {
+		t.Fatalf("FetchImage: %v", err)
+	}
+	got := frames[0].Image
+	for i := range direct.Pix {
+		if direct.Pix[i] != got.Pix[i] {
+			t.Fatal("collected frame differs from direct fetch")
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package core orchestrates the paper's end-to-end methodology (Fig. 1):
+// collect and label a street-view corpus, train the supervised detector
+// baseline, evaluate LLMs with prompt strategies, majority-vote the top
+// models, and run the downstream neighborhood-environment analysis.
+// Everything below it is a substrate; this package is the public face
+// the command-line tools and examples drive.
+package core
+
+import (
+	"fmt"
+
+	"nbhd/internal/analysis"
+	"nbhd/internal/dataset"
+	"nbhd/internal/ensemble"
+	"nbhd/internal/labelme"
+	"nbhd/internal/metrics"
+	"nbhd/internal/prompt"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+	"nbhd/internal/yolo"
+)
+
+// Classifier is anything that answers per-indicator Yes/No questions
+// about an image: a single simulated LLM, a majority-voting committee, or
+// an HTTP-backed client adapter.
+type Classifier interface {
+	Classify(req vlm.Request) ([]bool, error)
+}
+
+// Interface compliance for the in-repo classifiers.
+var (
+	_ Classifier = (*vlm.Model)(nil)
+	_ Classifier = (*ensemble.Committee)(nil)
+)
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Coordinates is the number of sampled coordinates (x4 headings).
+	// Zero defaults to the paper's 300.
+	Coordinates int
+	// Seed drives all generation.
+	Seed int64
+	// DetectorInputSize is the detector's render/input resolution; zero
+	// defaults to 64.
+	DetectorInputSize int
+	// LLMRenderSize is the resolution of frames sent to LLMs; zero
+	// defaults to 96.
+	LLMRenderSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Coordinates == 0 {
+		c.Coordinates = dataset.StudyCoordinates
+	}
+	if c.DetectorInputSize == 0 {
+		c.DetectorInputSize = 64
+	}
+	if c.LLMRenderSize == 0 {
+		c.LLMRenderSize = 96
+	}
+	return c
+}
+
+// Pipeline holds the assembled corpus and its derived artifacts.
+type Pipeline struct {
+	cfg   Config
+	Study *dataset.Study
+	// Annotations is the LabelMe store built from the corpus.
+	Annotations *labelme.Store
+}
+
+// NewPipeline assembles the corpus and annotations.
+func NewPipeline(cfg Config) (*Pipeline, error) {
+	cfg = cfg.withDefaults()
+	study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: cfg.Coordinates, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	labeler, err := labelme.NewLabeler(labelme.LabelerConfig{Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	store := labelme.NewStore()
+	for _, fr := range study.Frames {
+		rec, err := labeler.Annotate(fr.Scene, cfg.DetectorInputSize, cfg.DetectorInputSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: annotate %s: %w", fr.Scene.ID, err)
+		}
+		if err := store.Put(rec); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return &Pipeline{cfg: cfg, Study: study, Annotations: store}, nil
+}
+
+// BaselineResult is the trained-detector evaluation (Table I).
+type BaselineResult struct {
+	Model  *yolo.Model
+	Report *metrics.ClassReport
+	AP     map[scene.Indicator]metrics.APResult
+	MAP50  float64
+}
+
+// BaselineOptions tunes detector training.
+type BaselineOptions struct {
+	// Epochs defaults to the paper's 20; BatchSize to 16.
+	Epochs, BatchSize int
+	// Augment applies the given ops to the training split before
+	// training (Fig. 2 ablation arms).
+	Augment []dataset.AugmentOp
+	// NoiseSNRdB, when non-zero, corrupts the *test* split at this SNR
+	// (Fig. 3).
+	NoiseSNRdB float64
+	// Progress receives per-epoch losses.
+	Progress func(epoch int, loss float64)
+}
+
+// TrainBaseline runs the paper's supervised pipeline: 70/20/10 split,
+// train the detector, evaluate P/R/F1 and mAP50 on the test split.
+func (p *Pipeline) TrainBaseline(opts BaselineOptions) (*BaselineResult, error) {
+	split, err := p.Study.Split(dataset.PaperSplit(), p.cfg.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	train, err := p.Study.RenderExamples(split.Train, p.cfg.DetectorInputSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if len(opts.Augment) > 0 {
+		train, err = dataset.Augment(train, opts.Augment, p.cfg.Seed+2)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	test, err := p.Study.RenderExamples(split.Test, p.cfg.DetectorInputSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opts.NoiseSNRdB != 0 {
+		test = dataset.AddNoise(test, opts.NoiseSNRdB, p.cfg.Seed+3)
+	}
+
+	model, err := yolo.New(yolo.Config{InputSize: p.cfg.DetectorInputSize, Seed: p.cfg.Seed + 4})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	err = model.Train(train, yolo.TrainConfig{
+		Epochs:    opts.Epochs,
+		BatchSize: opts.BatchSize,
+		Seed:      p.cfg.Seed + 5,
+		Progress:  opts.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return p.EvaluateDetector(model, test)
+}
+
+// EvaluateDetector scores a trained detector on examples.
+func (p *Pipeline) EvaluateDetector(model *yolo.Model, test []dataset.Example) (*BaselineResult, error) {
+	evals, err := model.Evaluate(test, 0.25, 0.45)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	report, err := metrics.DetectionReport(evals, 0.25, metrics.IoU50)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	ap, err := metrics.APPerClass(evals, metrics.IoU50)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &BaselineResult{Model: model, Report: report, AP: ap, MAP50: metrics.MeanAP(ap)}, nil
+}
+
+// DetectorPresenceReport converts detections to image-level presence
+// predictions (an indicator is "present" when any detection of that class
+// clears the score threshold) and scores them like an LLM — the
+// comparison Fig. 5 makes between YOLOv11 and the LLMs.
+func (p *Pipeline) DetectorPresenceReport(model *yolo.Model, examples []dataset.Example, scoreThresh float64) (*metrics.ClassReport, error) {
+	var report metrics.ClassReport
+	for i := range examples {
+		dets, err := model.Detect(examples[i].Image, scoreThresh, 0.45)
+		if err != nil {
+			return nil, fmt.Errorf("core: detect %s: %w", examples[i].ID, err)
+		}
+		var pred [scene.NumIndicators]bool
+		for _, d := range dets {
+			if idx := d.Class.Index(); idx >= 0 {
+				pred[idx] = true
+			}
+		}
+		report.AddVector(pred, examples[i].Presence())
+	}
+	return &report, nil
+}
+
+// LLMOptions tunes an LLM evaluation sweep.
+type LLMOptions struct {
+	// Language defaults to English; Mode to parallel.
+	Language prompt.Language
+	Mode     prompt.Mode
+	// Temperature/TopP forward to the models (zero = defaults).
+	Temperature, TopP float64
+	// FrameLimit caps the number of frames evaluated (0 = all).
+	FrameLimit int
+}
+
+// EvaluateClassifier sweeps a classifier over the corpus and returns the
+// per-class confusion report (the layout of Tables III-VI).
+func (p *Pipeline) EvaluateClassifier(c Classifier, opts LLMOptions) (*metrics.ClassReport, error) {
+	frames := p.Study.Frames
+	if opts.FrameLimit > 0 && opts.FrameLimit < len(frames) {
+		frames = frames[:opts.FrameLimit]
+	}
+	indices := make([]int, len(frames))
+	for i := range indices {
+		indices[i] = i
+	}
+	examples, err := p.Study.RenderExamples(indices, p.cfg.LLMRenderSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	inds := scene.Indicators()
+	var report metrics.ClassReport
+	for i, ex := range examples {
+		answers, err := c.Classify(vlm.Request{
+			Image:       ex.Image,
+			Indicators:  inds[:],
+			Language:    opts.Language,
+			Mode:        opts.Mode,
+			Temperature: opts.Temperature,
+			TopP:        opts.TopP,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: classify %s: %w", ex.ID, err)
+		}
+		var pred [scene.NumIndicators]bool
+		copy(pred[:], answers)
+		report.AddVector(pred, frames[i].Scene.Presence())
+	}
+	return &report, nil
+}
+
+// EvaluateAllLLMs runs the four built-in models and returns their
+// reports keyed by ID.
+func (p *Pipeline) EvaluateAllLLMs(opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
+	out := make(map[vlm.ModelID]*metrics.ClassReport, 4)
+	for _, id := range vlm.AllModels() {
+		profile, err := vlm.ProfileFor(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		model, err := vlm.NewModel(profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		report, err := p.EvaluateClassifier(model, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", id, err)
+		}
+		out[id] = report
+	}
+	return out, nil
+}
+
+// VotingResult is the majority-voting evaluation (Fig. 5's last bar).
+type VotingResult struct {
+	Committee []vlm.ModelID
+	Report    *metrics.ClassReport
+}
+
+// RunMajorityVoting selects the top three models from the per-model
+// reports and evaluates their committee.
+func (p *Pipeline) RunMajorityVoting(reports map[vlm.ModelID]*metrics.ClassReport, opts LLMOptions) (*VotingResult, error) {
+	top, err := ensemble.SelectTop(reports, 3)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	models := make([]*vlm.Model, 0, len(top))
+	ids := make([]vlm.ModelID, 0, len(top))
+	for _, s := range top {
+		profile, err := vlm.ProfileFor(s.ID)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m, err := vlm.NewModel(profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		models = append(models, m)
+		ids = append(ids, s.ID)
+	}
+	committee, err := ensemble.NewCommittee(models...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	report, err := p.EvaluateClassifier(committee, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &VotingResult{Committee: ids, Report: report}, nil
+}
+
+// NeighborhoodResult is the downstream analysis output.
+type NeighborhoodResult struct {
+	Locations    []analysis.LocationProfile
+	Tracts       []analysis.TractProfile
+	Scores       []analysis.EnvironmentScore
+	Associations []analysis.Association
+}
+
+// AnalyzeNeighborhood runs a classifier over the corpus, fuses the four
+// headings of each coordinate, and produces tract-level environment
+// scores and health-outcome associations.
+func (p *Pipeline) AnalyzeNeighborhood(c Classifier, tractCellFeet float64) (*NeighborhoodResult, error) {
+	indices := make([]int, p.Study.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	examples, err := p.Study.RenderExamples(indices, p.cfg.LLMRenderSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	inds := scene.Indicators()
+	var locations []analysis.LocationProfile
+	// Frames come in coordinate groups of four headings.
+	for start := 0; start+3 < len(examples); start += 4 {
+		perHeading := make([][scene.NumIndicators]bool, 0, 4)
+		for k := 0; k < 4; k++ {
+			answers, err := c.Classify(vlm.Request{Image: examples[start+k].Image, Indicators: inds[:]})
+			if err != nil {
+				return nil, fmt.Errorf("core: classify %s: %w", examples[start+k].ID, err)
+			}
+			var v [scene.NumIndicators]bool
+			copy(v[:], answers)
+			perHeading = append(perHeading, v)
+		}
+		fused, err := ensemble.FuseHeadings(perHeading, ensemble.FuseAny)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		fr := p.Study.Frames[start]
+		locations = append(locations, analysis.LocationProfile{
+			Coordinate: fr.Scene.Point.Coordinate,
+			County:     fr.County,
+			Presence:   fused,
+		})
+	}
+	tracts, err := analysis.Tracts(locations, tractCellFeet)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	scores := analysis.Score(tracts)
+	health := analysis.DefaultObesityModel(p.cfg.Seed + 9)
+	outcomes, err := health.Generate(tracts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	assocs, err := analysis.Associations(tracts, outcomes)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &NeighborhoodResult{
+		Locations:    locations,
+		Tracts:       tracts,
+		Scores:       scores,
+		Associations: assocs,
+	}, nil
+}
+
+// FramesPerCoordinate is the number of frames per sampled coordinate (one
+// per cardinal heading).
+const FramesPerCoordinate = 4

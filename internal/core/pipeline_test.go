@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/ensemble"
+	"nbhd/internal/prompt"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+func smallPipeline(t *testing.T, coords int) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(Config{Coordinates: coords, Seed: 5, DetectorInputSize: 32, LLMRenderSize: 96})
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	return p
+}
+
+func TestNewPipelineBuildsAnnotations(t *testing.T) {
+	p := smallPipeline(t, 6)
+	if p.Study.Len() != 24 {
+		t.Fatalf("frames = %d", p.Study.Len())
+	}
+	if p.Annotations.Len() != 24 {
+		t.Fatalf("annotations = %d", p.Annotations.Len())
+	}
+	// Annotation object counts match scene ground truth.
+	if got, want := p.Annotations.TotalObjects(), totalObjects(p.Study); got != want {
+		t.Errorf("annotation objects = %d, scene objects = %d", got, want)
+	}
+}
+
+func totalObjects(st *dataset.Study) int {
+	n := 0
+	for _, fr := range st.Frames {
+		n += len(fr.Scene.Objects)
+	}
+	return n
+}
+
+func TestTrainBaselineSmoke(t *testing.T) {
+	p := smallPipeline(t, 20)
+	var epochs int
+	res, err := p.TrainBaseline(BaselineOptions{
+		Epochs:    4,
+		BatchSize: 16,
+		Progress:  func(int, float64) { epochs++ },
+	})
+	if err != nil {
+		t.Fatalf("TrainBaseline: %v", err)
+	}
+	if epochs != 4 {
+		t.Errorf("progress calls = %d", epochs)
+	}
+	if res.Model == nil || res.Report == nil {
+		t.Fatal("nil result fields")
+	}
+	if res.MAP50 < 0 || res.MAP50 > 1 {
+		t.Errorf("mAP50 = %f", res.MAP50)
+	}
+}
+
+func TestTrainBaselineWithAugmentAndNoise(t *testing.T) {
+	p := smallPipeline(t, 10)
+	res, err := p.TrainBaseline(BaselineOptions{
+		Epochs:     2,
+		BatchSize:  16,
+		Augment:    dataset.FlippingOps(),
+		NoiseSNRdB: 20,
+	})
+	if err != nil {
+		t.Fatalf("TrainBaseline: %v", err)
+	}
+	if res.Report == nil {
+		t.Fatal("nil report")
+	}
+}
+
+func TestEvaluateClassifier(t *testing.T) {
+	p := smallPipeline(t, 10)
+	profile, err := vlm.ProfileFor(vlm.Gemini15Pro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vlm.NewModel(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := p.EvaluateClassifier(m, LLMOptions{})
+	if err != nil {
+		t.Fatalf("EvaluateClassifier: %v", err)
+	}
+	total := 0
+	for _, ind := range scene.Indicators() {
+		total += report.Of(ind).Total()
+	}
+	if total != p.Study.Len()*scene.NumIndicators {
+		t.Errorf("report covers %d pairs, want %d", total, p.Study.Len()*scene.NumIndicators)
+	}
+	// FrameLimit caps coverage.
+	limited, err := p.EvaluateClassifier(m, LLMOptions{FrameLimit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := limited.Of(scene.Sidewalk).Total(); got != 8 {
+		t.Errorf("limited report = %d pairs/class, want 8", got)
+	}
+}
+
+func TestEvaluateAllLLMsAndVoting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-model sweep in -short mode")
+	}
+	p := smallPipeline(t, 30)
+	reports, err := p.EvaluateAllLLMs(LLMOptions{})
+	if err != nil {
+		t.Fatalf("EvaluateAllLLMs: %v", err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	voting, err := p.RunMajorityVoting(reports, LLMOptions{})
+	if err != nil {
+		t.Fatalf("RunMajorityVoting: %v", err)
+	}
+	if len(voting.Committee) != 3 {
+		t.Fatalf("committee = %v", voting.Committee)
+	}
+	// Voting accuracy should be at least competitive with the best
+	// member (exact dominance is asserted at larger scale in the
+	// ensemble package tests).
+	_, _, _, votedAcc := voting.Report.Averages()
+	if votedAcc < 0.7 {
+		t.Errorf("voting accuracy %.3f implausibly low", votedAcc)
+	}
+}
+
+func TestEvaluateClassifierLanguagesAndModes(t *testing.T) {
+	p := smallPipeline(t, 8)
+	profile, err := vlm.ProfileFor(vlm.Gemini15Pro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vlm.NewModel(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []LLMOptions{
+		{Language: prompt.Spanish},
+		{Mode: prompt.Sequential},
+		{Temperature: 1.5},
+		{TopP: 0.5},
+	} {
+		if _, err := p.EvaluateClassifier(m, opts); err != nil {
+			t.Errorf("EvaluateClassifier(%+v): %v", opts, err)
+		}
+	}
+}
+
+func TestAnalyzeNeighborhood(t *testing.T) {
+	p := smallPipeline(t, 16)
+	committee, err := ensemble.PaperCommittee()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.AnalyzeNeighborhood(committee, 2000)
+	if err != nil {
+		t.Fatalf("AnalyzeNeighborhood: %v", err)
+	}
+	if len(res.Locations) != 16 {
+		t.Errorf("locations = %d, want 16", len(res.Locations))
+	}
+	if len(res.Tracts) == 0 || len(res.Scores) != len(res.Tracts) {
+		t.Errorf("tracts = %d scores = %d", len(res.Tracts), len(res.Scores))
+	}
+	if len(res.Associations) != scene.NumIndicators {
+		t.Errorf("associations = %d", len(res.Associations))
+	}
+	// Locations per tract sum to total.
+	sum := 0
+	for _, tr := range res.Tracts {
+		sum += tr.Locations
+	}
+	if sum != len(res.Locations) {
+		t.Errorf("tract locations sum = %d", sum)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Coordinates != dataset.StudyCoordinates {
+		t.Errorf("default coordinates = %d", cfg.Coordinates)
+	}
+	if cfg.DetectorInputSize != 64 || cfg.LLMRenderSize != 96 {
+		t.Errorf("default sizes = %d/%d", cfg.DetectorInputSize, cfg.LLMRenderSize)
+	}
+}

@@ -1,0 +1,355 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nbhd/internal/scene"
+)
+
+// smallStudy builds a reduced corpus for fast tests.
+func smallStudy(t *testing.T, coords int) *Study {
+	t.Helper()
+	st, err := BuildStudy(StudyConfig{Coordinates: coords, Seed: 11})
+	if err != nil {
+		t.Fatalf("BuildStudy: %v", err)
+	}
+	return st
+}
+
+func TestBuildStudyShape(t *testing.T) {
+	st := smallStudy(t, 25)
+	if st.Len() != 100 {
+		t.Fatalf("frames = %d, want 100 (25 coords x 4 headings)", st.Len())
+	}
+	if st.Rural.Name != "Robeson" || st.Urban.Name != "Durham" {
+		t.Errorf("county names = %s/%s", st.Rural.Name, st.Urban.Name)
+	}
+	// Every 4-frame group shares a coordinate but varies heading.
+	for i := 0; i < st.Len(); i += 4 {
+		base := st.Frames[i].Scene.Point.Coordinate
+		for j := 1; j < 4; j++ {
+			f := st.Frames[i+j]
+			if f.Scene.Point.Coordinate != base {
+				t.Fatalf("frame %d not at same coordinate as group head", i+j)
+			}
+			if f.Scene.Heading == st.Frames[i].Scene.Heading {
+				t.Fatalf("frame %d duplicates heading", i+j)
+			}
+		}
+	}
+}
+
+func TestBuildStudyDeterministic(t *testing.T) {
+	a := smallStudy(t, 10)
+	b := smallStudy(t, 10)
+	for i := range a.Frames {
+		if a.Frames[i].Scene.ID != b.Frames[i].Scene.ID {
+			t.Fatalf("frame %d id differs: %s vs %s", i, a.Frames[i].Scene.ID, b.Frames[i].Scene.ID)
+		}
+		if len(a.Frames[i].Scene.Objects) != len(b.Frames[i].Scene.Objects) {
+			t.Fatalf("frame %d object count differs", i)
+		}
+	}
+}
+
+func TestBuildStudyValidation(t *testing.T) {
+	if _, err := BuildStudy(StudyConfig{Coordinates: -1}); err == nil {
+		t.Error("negative coordinates accepted")
+	}
+	if _, err := BuildStudy(StudyConfig{Coordinates: 10_000_000}); err == nil {
+		t.Error("oversized coordinate request accepted")
+	}
+}
+
+// TestStudyCalibration checks that the full 1,200-frame corpus reproduces
+// the paper's §IV-A object counts (206 SL, 444 SW, 346 SR, 505 MR, 301
+// PL, 125 AP; 1,927 total) within generator tolerance.
+func TestStudyCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus in -short mode")
+	}
+	st, err := BuildStudy(StudyConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildStudy: %v", err)
+	}
+	if st.Len() != StudyImages {
+		t.Fatalf("corpus size = %d, want %d", st.Len(), StudyImages)
+	}
+	stats := st.Stats()
+	paper := [scene.NumIndicators]int{206, 444, 346, 505, 301, 125}
+	for i, want := range paper {
+		got := stats.Objects[i]
+		if math.Abs(float64(got-want)) > 0.3*float64(want) {
+			t.Errorf("%v objects = %d, want %d ±30%%", scene.Indicators()[i], got, want)
+		}
+	}
+	if math.Abs(float64(stats.TotalObjects-1927)) > 0.12*1927 {
+		t.Errorf("total objects = %d, want 1927 ±12%%", stats.TotalObjects)
+	}
+	// Multilane must outnumber single-lane as in the paper.
+	if stats.Objects[scene.MultilaneRoad.Index()] <= stats.Objects[scene.SingleLaneRoad.Index()] {
+		t.Errorf("MR objects (%d) should exceed SR objects (%d)",
+			stats.Objects[scene.MultilaneRoad.Index()], stats.Objects[scene.SingleLaneRoad.Index()])
+	}
+	// Both counties contribute.
+	if stats.ByCounty["Robeson"] == 0 || stats.ByCounty["Durham"] == 0 {
+		t.Errorf("county mix = %v", stats.ByCounty)
+	}
+}
+
+func TestStats(t *testing.T) {
+	st := smallStudy(t, 25)
+	stats := st.Stats()
+	if stats.Frames != 100 {
+		t.Errorf("Frames = %d", stats.Frames)
+	}
+	var sum int
+	for _, n := range stats.Objects {
+		sum += n
+	}
+	if sum != stats.TotalObjects {
+		t.Errorf("TotalObjects = %d, sum = %d", stats.TotalObjects, sum)
+	}
+	// ImagesWith <= Frames and <= Objects for each class.
+	for i := 0; i < scene.NumIndicators; i++ {
+		if stats.ImagesWith[i] > stats.Frames {
+			t.Errorf("ImagesWith[%d] = %d > frames", i, stats.ImagesWith[i])
+		}
+		if stats.ImagesWith[i] > stats.Objects[i] {
+			t.Errorf("ImagesWith[%d] = %d > objects %d", i, stats.ImagesWith[i], stats.Objects[i])
+		}
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	st := smallStudy(t, 25)
+	split, err := st.Split(PaperSplit(), 3)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	total := len(split.Train) + len(split.Val) + len(split.Test)
+	if total != st.Len() {
+		t.Fatalf("split covers %d of %d frames", total, st.Len())
+	}
+	// Roughly 70/20/10 (stratified rounding tolerance).
+	if f := float64(len(split.Train)) / float64(total); math.Abs(f-0.7) > 0.05 {
+		t.Errorf("train fraction = %f", f)
+	}
+	if f := float64(len(split.Test)) / float64(total); math.Abs(f-0.1) > 0.06 {
+		t.Errorf("test fraction = %f", f)
+	}
+	// No index appears twice.
+	seen := make(map[int]bool, total)
+	for _, part := range [][]int{split.Train, split.Val, split.Test} {
+		for _, i := range part {
+			if seen[i] {
+				t.Fatalf("index %d in multiple partitions", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	st := smallStudy(t, 5)
+	if _, err := st.Split(SplitFractions{Train: 0.5, Val: 0.2, Test: 0.2}, 1); err == nil {
+		t.Error("non-unit fractions accepted")
+	}
+	if _, err := st.Split(SplitFractions{Train: 0, Val: 0.5, Test: 0.5}, 1); err == nil {
+		t.Error("zero train fraction accepted")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	st := smallStudy(t, 10)
+	a, err := st.Split(PaperSplit(), 9)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	b, err := st.Split(PaperSplit(), 9)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("split sizes differ")
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestRenderExamples(t *testing.T) {
+	st := smallStudy(t, 3)
+	ex, err := st.RenderExamples([]int{0, 5, 11}, 32)
+	if err != nil {
+		t.Fatalf("RenderExamples: %v", err)
+	}
+	if len(ex) != 3 {
+		t.Fatalf("examples = %d", len(ex))
+	}
+	for _, e := range ex {
+		if e.Image.W != 32 || e.Image.H != 32 {
+			t.Errorf("example %s size %dx%d", e.ID, e.Image.W, e.Image.H)
+		}
+	}
+	if _, err := st.RenderExamples([]int{99}, 32); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	// Presence matches scene ground truth.
+	if ex[0].Presence() != st.Frames[0].Scene.Presence() {
+		t.Error("example presence diverges from scene")
+	}
+}
+
+func TestAugmentRotations(t *testing.T) {
+	st := smallStudy(t, 2)
+	ex, err := st.RenderExamples([]int{0, 1}, 32)
+	if err != nil {
+		t.Fatalf("RenderExamples: %v", err)
+	}
+	aug, err := Augment(ex, FlippingOps(), 1)
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	if len(aug) != 2*(1+3) {
+		t.Fatalf("augmented count = %d, want 8", len(aug))
+	}
+	// Originals come first, unchanged.
+	if aug[0].ID != ex[0].ID {
+		t.Errorf("first example = %s", aug[0].ID)
+	}
+	// Rotated examples keep object counts and valid boxes.
+	for _, a := range aug[2:] {
+		if !strings.Contains(a.ID, "#rot") {
+			t.Errorf("augmented id %q missing op suffix", a.ID)
+		}
+		for _, o := range a.Objects {
+			if !o.BBox.Valid() {
+				t.Errorf("augmented %s has invalid box %+v", a.ID, o.BBox)
+			}
+		}
+	}
+	// Rotation preserves object count.
+	counts := map[string]int{}
+	for _, a := range aug {
+		base := strings.SplitN(a.ID, "#", 2)[0]
+		if counts[base] == 0 {
+			counts[base] = len(a.Objects)
+		} else if strings.Contains(a.ID, "rot") && len(a.Objects) != counts[base] {
+			t.Errorf("%s object count %d, original %d", a.ID, len(a.Objects), counts[base])
+		}
+	}
+}
+
+func TestAugmentCrop(t *testing.T) {
+	st := smallStudy(t, 2)
+	ex, err := st.RenderExamples([]int{0}, 40)
+	if err != nil {
+		t.Fatalf("RenderExamples: %v", err)
+	}
+	aug, err := Augment(ex, []AugmentOp{AugCrop}, 5)
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	if len(aug) != 2 {
+		t.Fatalf("augmented count = %d", len(aug))
+	}
+	crop := aug[1]
+	if crop.Image.W != 40 || crop.Image.H != 40 {
+		t.Errorf("crop not rescaled: %dx%d", crop.Image.W, crop.Image.H)
+	}
+	for _, o := range crop.Objects {
+		if !o.BBox.Valid() {
+			t.Errorf("cropped box invalid: %+v", o.BBox)
+		}
+	}
+	// Deterministic in seed.
+	again, err := Augment(ex, []AugmentOp{AugCrop}, 5)
+	if err != nil {
+		t.Fatalf("Augment: %v", err)
+	}
+	for i := range aug[1].Image.Pix {
+		if aug[1].Image.Pix[i] != again[1].Image.Pix[i] {
+			t.Fatal("crop augmentation not deterministic")
+		}
+	}
+}
+
+func TestAugmentOpString(t *testing.T) {
+	tests := map[AugmentOp]string{
+		AugRotate90:   "rot90",
+		AugRotate180:  "rot180",
+		AugRotate270:  "rot270",
+		AugCrop:       "crop",
+		AugmentOp(99): "AugmentOp(99)",
+	}
+	for op, want := range tests {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestAugmentUnknownOp(t *testing.T) {
+	st := smallStudy(t, 1)
+	ex, err := st.RenderExamples([]int{0}, 16)
+	if err != nil {
+		t.Fatalf("RenderExamples: %v", err)
+	}
+	if _, err := Augment(ex, []AugmentOp{AugmentOp(42)}, 1); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestAddNoise(t *testing.T) {
+	st := smallStudy(t, 1)
+	ex, err := st.RenderExamples([]int{0, 1}, 24)
+	if err != nil {
+		t.Fatalf("RenderExamples: %v", err)
+	}
+	noisy := AddNoise(ex, 10, 7)
+	if len(noisy) != len(ex) {
+		t.Fatalf("noisy count = %d", len(noisy))
+	}
+	changed := false
+	for i := range noisy[0].Image.Pix {
+		if noisy[0].Image.Pix[i] != ex[0].Image.Pix[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("noise changed nothing")
+	}
+	if !strings.Contains(noisy[0].ID, "#snr10") {
+		t.Errorf("noisy id = %q", noisy[0].ID)
+	}
+	// Ground truth shared, not copied.
+	if len(noisy[0].Objects) != len(ex[0].Objects) {
+		t.Error("noise altered ground truth")
+	}
+}
+
+func TestSNRLevels(t *testing.T) {
+	levels := SNRLevels()
+	want := []float64{5, 10, 15, 20, 25, 30}
+	if len(levels) != len(want) {
+		t.Fatalf("levels = %v", levels)
+	}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Errorf("levels[%d] = %f, want %f", i, levels[i], want[i])
+		}
+	}
+}
+
+func TestPaperSplit(t *testing.T) {
+	f := PaperSplit()
+	if f.Train != 0.7 || f.Val != 0.2 || f.Test != 0.1 {
+		t.Errorf("PaperSplit = %+v", f)
+	}
+}

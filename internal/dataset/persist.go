@@ -1,0 +1,175 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nbhd/internal/labelme"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+)
+
+// manifestName is the corpus manifest file written alongside the frames.
+const manifestName = "manifest.json"
+
+// manifest records what SaveCorpus wrote, so LoadCorpus can reconstruct
+// the example list without globbing heuristics.
+type manifest struct {
+	Version    int      `json:"version"`
+	RenderSize int      `json:"render_size"`
+	FrameIDs   []string `json:"frame_ids"`
+}
+
+// SaveCorpus writes rendered PNGs and LabelMe annotations for the given
+// frame indices into dir, plus a manifest — the on-disk interchange
+// format between the collection tooling (cmd/gsvgen) and training runs.
+func SaveCorpus(st *Study, indices []int, size int, dir string) error {
+	if size < 16 {
+		return fmt.Errorf("dataset: render size %d too small", size)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: create %s: %w", dir, err)
+	}
+	labeler, err := labelme.NewLabeler(labelme.LabelerConfig{})
+	if err != nil {
+		return err
+	}
+	m := manifest{Version: 1, RenderSize: size}
+	for _, i := range indices {
+		if i < 0 || i >= st.Len() {
+			return fmt.Errorf("dataset: frame index %d out of range", i)
+		}
+		fr := st.Frames[i]
+		img, err := render.Render(fr.Scene, render.Config{Width: size, Height: size})
+		if err != nil {
+			return fmt.Errorf("dataset: render %s: %w", fr.Scene.ID, err)
+		}
+		if err := writePNG(filepath.Join(dir, fr.Scene.ID+".png"), img); err != nil {
+			return err
+		}
+		rec, err := labeler.Annotate(fr.Scene, size, size)
+		if err != nil {
+			return err
+		}
+		if err := writeAnnotation(filepath.Join(dir, fr.Scene.ID+".json"), rec); err != nil {
+			return err
+		}
+		m.FrameIDs = append(m.FrameIDs, fr.Scene.ID)
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), blob, 0o644); err != nil {
+		return fmt.Errorf("dataset: write manifest: %w", err)
+	}
+	return nil
+}
+
+func writePNG(path string, img *render.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	err = img.EncodePNG(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("dataset: write %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeAnnotation(path string, rec *labelme.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	err = rec.Encode(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("dataset: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadCorpus reads a SaveCorpus directory back into examples, pairing
+// each PNG with its LabelMe annotation. Frames load in manifest order.
+func LoadCorpus(dir string) ([]Example, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("dataset: parse manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("dataset: unsupported corpus version %d", m.Version)
+	}
+	out := make([]Example, 0, len(m.FrameIDs))
+	for _, id := range m.FrameIDs {
+		if strings.ContainsAny(id, "/\\") {
+			return nil, fmt.Errorf("dataset: manifest frame id %q contains path separators", id)
+		}
+		imgFile, err := os.Open(filepath.Join(dir, id+".png"))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		img, err := render.DecodePNG(imgFile)
+		_ = imgFile.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: decode %s: %w", id, err)
+		}
+		annFile, err := os.Open(filepath.Join(dir, id+".json"))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		rec, err := labelme.Decode(annFile)
+		_ = annFile.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: decode annotation %s: %w", id, err)
+		}
+		objs, err := rec.Objects()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", id, err)
+		}
+		out = append(out, Example{ID: id, Image: img, Objects: objs})
+	}
+	return out, nil
+}
+
+// CorpusIDs lists the frame IDs recorded in a corpus directory's
+// manifest, sorted.
+func CorpusIDs(dir string) ([]string, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("dataset: parse manifest: %w", err)
+	}
+	ids := append([]string(nil), m.FrameIDs...)
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// PresenceFromObjects converts a ground-truth object list to the
+// image-level presence vector (shared helper for loaded corpora).
+func PresenceFromObjects(objs []scene.Object) [scene.NumIndicators]bool {
+	var out [scene.NumIndicators]bool
+	for _, o := range objs {
+		if idx := o.Indicator.Index(); idx >= 0 {
+			out[idx] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nbhd/internal/scene"
+)
+
+func TestSaveLoadCorpusRoundTrip(t *testing.T) {
+	st := smallStudy(t, 3)
+	dir := t.TempDir()
+	indices := []int{0, 4, 8}
+	if err := SaveCorpus(st, indices, 48, dir); err != nil {
+		t.Fatalf("SaveCorpus: %v", err)
+	}
+	loaded, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatalf("LoadCorpus: %v", err)
+	}
+	if len(loaded) != len(indices) {
+		t.Fatalf("loaded %d examples, want %d", len(loaded), len(indices))
+	}
+	for li, i := range indices {
+		fr := st.Frames[i]
+		ex := loaded[li]
+		if ex.ID != fr.Scene.ID {
+			t.Errorf("example %d id %q, want %q", li, ex.ID, fr.Scene.ID)
+		}
+		if ex.Image.W != 48 || ex.Image.H != 48 {
+			t.Errorf("example %d size %dx%d", li, ex.Image.W, ex.Image.H)
+		}
+		if len(ex.Objects) != len(fr.Scene.Objects) {
+			t.Errorf("example %d has %d objects, scene has %d", li, len(ex.Objects), len(fr.Scene.Objects))
+		}
+		// Presence vectors survive the round trip.
+		if PresenceFromObjects(ex.Objects) != fr.Scene.Presence() {
+			t.Errorf("example %d presence drifted", li)
+		}
+	}
+}
+
+func TestSaveCorpusValidation(t *testing.T) {
+	st := smallStudy(t, 1)
+	dir := t.TempDir()
+	if err := SaveCorpus(st, []int{0}, 4, dir); err == nil {
+		t.Error("tiny render size accepted")
+	}
+	if err := SaveCorpus(st, []int{99}, 48, dir); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestLoadCorpusErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	// Corrupt manifest.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	// Manifest referencing a missing frame.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"version":1,"render_size":48,"frame_ids":["ghost"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Error("missing frame accepted")
+	}
+	// Path traversal in frame id.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"version":1,"render_size":48,"frame_ids":["../evil"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Error("path traversal accepted")
+	}
+	// Wrong version.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte(`{"version":9,"frame_ids":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus(dir); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestCorpusIDs(t *testing.T) {
+	st := smallStudy(t, 2)
+	dir := t.TempDir()
+	if err := SaveCorpus(st, []int{4, 0}, 32, dir); err != nil {
+		t.Fatalf("SaveCorpus: %v", err)
+	}
+	ids, err := CorpusIDs(dir)
+	if err != nil {
+		t.Fatalf("CorpusIDs: %v", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if ids[0] > ids[1] {
+		t.Error("ids not sorted")
+	}
+}
+
+func TestPresenceFromObjects(t *testing.T) {
+	objs := []scene.Object{
+		{Indicator: scene.Powerline, BBox: scene.Rect{X0: 0, Y0: 0, X1: 1, Y1: 0.3}},
+		{Indicator: scene.Powerline, BBox: scene.Rect{X0: 0, Y0: 0.4, X1: 1, Y1: 0.6}},
+	}
+	p := PresenceFromObjects(objs)
+	if !p[scene.Powerline.Index()] || p[scene.Sidewalk.Index()] {
+		t.Errorf("presence = %v", p)
+	}
+	if PresenceFromObjects(nil) != [scene.NumIndicators]bool{} {
+		t.Error("empty object list should give empty presence")
+	}
+}

@@ -1,0 +1,194 @@
+// Package ensemble implements the paper's majority-voting scheme
+// (§IV-C2): combine per-image Yes/No answers from several LLMs, reaching
+// a prediction "when at least two models agree" (for a three-model
+// committee), plus the model-selection step that picks the top performers
+// to vote. It also provides the multi-frame fusion the paper lists as
+// future work (§V): combining the four headings of one coordinate.
+package ensemble
+
+import (
+	"fmt"
+	"sort"
+
+	"nbhd/internal/metrics"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+// Vote combines per-model answer vectors by strict majority: an indicator
+// is predicted present when more than half the models say yes. All answer
+// vectors must be the same length. An even split predicts absent
+// (conservative).
+func Vote(answers [][]bool) ([]bool, error) {
+	if len(answers) == 0 {
+		return nil, fmt.Errorf("ensemble: no answer vectors")
+	}
+	n := len(answers[0])
+	for i, a := range answers {
+		if len(a) != n {
+			return nil, fmt.Errorf("ensemble: answer vector %d has %d entries, want %d", i, len(a), n)
+		}
+	}
+	out := make([]bool, n)
+	for k := 0; k < n; k++ {
+		yes := 0
+		for _, a := range answers {
+			if a[k] {
+				yes++
+			}
+		}
+		out[k] = yes*2 > len(answers)
+	}
+	return out, nil
+}
+
+// ModelScore pairs a model with its average accuracy.
+type ModelScore struct {
+	ID       vlm.ModelID
+	Accuracy float64
+}
+
+// SelectTop ranks models by average accuracy (from their evaluation
+// reports) and returns the best k, the paper's "top three LLMs" step.
+// Ties break lexicographically on the model ID for determinism.
+func SelectTop(reports map[vlm.ModelID]*metrics.ClassReport, k int) ([]ModelScore, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ensemble: k must be positive, got %d", k)
+	}
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("ensemble: no reports")
+	}
+	scores := make([]ModelScore, 0, len(reports))
+	for id, rep := range reports {
+		_, _, _, acc := rep.Averages()
+		scores = append(scores, ModelScore{ID: id, Accuracy: acc})
+	}
+	sort.Slice(scores, func(a, b int) bool {
+		if scores[a].Accuracy != scores[b].Accuracy {
+			return scores[a].Accuracy > scores[b].Accuracy
+		}
+		return scores[a].ID < scores[b].ID
+	})
+	if k > len(scores) {
+		k = len(scores)
+	}
+	return scores[:k], nil
+}
+
+// FusionStrategy combines the four per-heading answers of one coordinate.
+type FusionStrategy int
+
+const (
+	// FuseAny marks an indicator present if any heading sees it —
+	// appropriate for coordinate-level environment profiling, where an
+	// indicator visible in any direction exists at the location.
+	FuseAny FusionStrategy = iota + 1
+	// FuseMajority requires more than half the headings to agree.
+	FuseMajority
+)
+
+// String names the strategy.
+func (f FusionStrategy) String() string {
+	switch f {
+	case FuseAny:
+		return "any"
+	case FuseMajority:
+		return "majority"
+	default:
+		return fmt.Sprintf("FusionStrategy(%d)", int(f))
+	}
+}
+
+// FuseHeadings combines per-heading presence vectors into one
+// coordinate-level vector (§V future work: "incorporate multiple
+// consecutive images in different directions").
+func FuseHeadings(perHeading [][scene.NumIndicators]bool, strategy FusionStrategy) ([scene.NumIndicators]bool, error) {
+	var out [scene.NumIndicators]bool
+	if len(perHeading) == 0 {
+		return out, fmt.Errorf("ensemble: no heading vectors")
+	}
+	for k := 0; k < scene.NumIndicators; k++ {
+		yes := 0
+		for _, v := range perHeading {
+			if v[k] {
+				yes++
+			}
+		}
+		switch strategy {
+		case FuseAny:
+			out[k] = yes > 0
+		case FuseMajority:
+			out[k] = yes*2 > len(perHeading)
+		default:
+			return out, fmt.Errorf("ensemble: unknown fusion strategy %d", int(strategy))
+		}
+	}
+	return out, nil
+}
+
+// Committee is a fixed set of models whose answers are combined by
+// majority vote.
+type Committee struct {
+	models []*vlm.Model
+}
+
+// NewCommittee builds a committee; at least one model is required and an
+// odd count is recommended (even committees break ties toward absent).
+func NewCommittee(models ...*vlm.Model) (*Committee, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("ensemble: committee needs at least one model")
+	}
+	seen := make(map[vlm.ModelID]bool, len(models))
+	for _, m := range models {
+		if seen[m.ID()] {
+			return nil, fmt.Errorf("ensemble: duplicate committee member %q", m.ID())
+		}
+		seen[m.ID()] = true
+	}
+	return &Committee{models: append([]*vlm.Model(nil), models...)}, nil
+}
+
+// Size returns the number of members.
+func (c *Committee) Size() int { return len(c.models) }
+
+// Members returns the member IDs in committee order.
+func (c *Committee) Members() []vlm.ModelID {
+	out := make([]vlm.ModelID, len(c.models))
+	for i, m := range c.models {
+		out[i] = m.ID()
+	}
+	return out
+}
+
+// Classify runs every member on the request and majority-votes the
+// answers.
+func (c *Committee) Classify(req vlm.Request) ([]bool, error) {
+	all := make([][]bool, 0, len(c.models))
+	for _, m := range c.models {
+		answers, err := m.Classify(req)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: member %s: %w", m.ID(), err)
+		}
+		all = append(all, answers)
+	}
+	return Vote(all)
+}
+
+// PaperCommittee builds the paper's top-three committee: Gemini 1.5 Pro,
+// Claude 3.7, and Grok 2 (§IV-C2).
+func PaperCommittee() (*Committee, error) {
+	ids := []vlm.ModelID{vlm.Gemini15Pro, vlm.Claude37, vlm.Grok2}
+	models := make([]*vlm.Model, 0, len(ids))
+	for _, id := range ids {
+		p, err := vlm.ProfileFor(id)
+		if err != nil {
+			return nil, err
+		}
+		m, err := vlm.NewModel(p)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	return NewCommittee(models...)
+}

@@ -1,0 +1,212 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NetworkConfig controls procedural road-network generation for a
+// synthetic county.
+type NetworkConfig struct {
+	// Name is the county name.
+	Name string
+	// Setting chooses the rural/urban indicator mix.
+	Setting Setting
+	// Origin is the county's southwest anchor coordinate.
+	Origin Coordinate
+	// ExtentFeet is the side length of the square county extent.
+	ExtentFeet float64
+	// RoadCount is the number of roads to generate.
+	RoadCount int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Validate reports configuration problems.
+func (c *NetworkConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("geo: network config needs a name")
+	}
+	if c.ExtentFeet <= 0 {
+		return fmt.Errorf("geo: county %s: extent must be positive, got %f", c.Name, c.ExtentFeet)
+	}
+	if c.RoadCount < 1 {
+		return fmt.Errorf("geo: county %s: road count must be >= 1, got %d", c.Name, c.RoadCount)
+	}
+	if !c.Origin.Valid() {
+		return fmt.Errorf("geo: county %s: invalid origin", c.Name)
+	}
+	switch c.Setting {
+	case SettingRural, SettingUrban, SettingMixed:
+	default:
+		return fmt.Errorf("geo: county %s: unknown setting %d", c.Name, int(c.Setting))
+	}
+	return nil
+}
+
+// multilaneShare returns the fraction of generated roads that are
+// multilane for a setting. Urban counties skew heavily multilane; rural
+// ones skew single-lane. The paper's label counts (505 multilane vs 346
+// single-lane objects over a rural + an urban county) imply a modest
+// multilane majority overall.
+func multilaneShare(s Setting) float64 {
+	switch s {
+	case SettingRural:
+		return 0.35
+	case SettingUrban:
+		return 0.82
+	default:
+		return 0.50
+	}
+}
+
+// urbanicityRange returns the [lo,hi] urbanicity band roads of a setting
+// are drawn from.
+func urbanicityRange(s Setting) (float64, float64) {
+	switch s {
+	case SettingRural:
+		return 0.05, 0.45
+	case SettingUrban:
+		return 0.55, 0.98
+	default:
+		return 0.25, 0.75
+	}
+}
+
+// GenerateCounty procedurally builds a county road network. Roads are
+// jittered polylines laid out on a loose grid whose density depends on the
+// setting; each road gets a lane classification and an urbanicity drawn
+// from setting-specific priors. Generation is deterministic in the seed.
+func GenerateCounty(cfg NetworkConfig) (*County, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	county := &County{
+		Name:    cfg.Name,
+		Setting: cfg.Setting,
+		Origin:  cfg.Origin,
+		Roads:   make([]Road, 0, cfg.RoadCount),
+	}
+	mlShare := multilaneShare(cfg.Setting)
+	uLo, uHi := urbanicityRange(cfg.Setting)
+	for i := 0; i < cfg.RoadCount; i++ {
+		road := Road{
+			ID:         i + 1,
+			Urbanicity: uLo + rng.Float64()*(uHi-uLo),
+		}
+		if rng.Float64() < mlShare {
+			road.Class = RoadMultiLane
+			road.LanesPerDirection = 2 + rng.Intn(2)
+			road.Name = fmt.Sprintf("US-%d", 100+rng.Intn(900))
+		} else {
+			road.Class = RoadSingleLane
+			road.LanesPerDirection = 1
+			road.Name = fmt.Sprintf("NC-%d", 1000+rng.Intn(9000))
+		}
+		road.Points = generatePolyline(rng, cfg.Origin, cfg.ExtentFeet)
+		county.Roads = append(county.Roads, road)
+	}
+	if err := county.Validate(); err != nil {
+		return nil, fmt.Errorf("geo: generated county failed validation: %w", err)
+	}
+	return county, nil
+}
+
+// generatePolyline lays a jittered polyline across the county extent.
+// Roads run either roughly east-west or north-south with per-vertex
+// perpendicular jitter, mimicking the mix of straight arterials and
+// winding local roads.
+func generatePolyline(rng *rand.Rand, origin Coordinate, extentFeet float64) []Coordinate {
+	vertexCount := 3 + rng.Intn(4)
+	eastWest := rng.Float64() < 0.5
+	// Random anchor within the extent for the road's cross-axis position.
+	cross := rng.Float64() * extentFeet
+	// The road spans a random sub-interval of the extent along its axis.
+	start := rng.Float64() * extentFeet * 0.3
+	end := extentFeet*0.7 + rng.Float64()*extentFeet*0.3
+	points := make([]Coordinate, 0, vertexCount)
+	for v := 0; v < vertexCount; v++ {
+		t := float64(v) / float64(vertexCount-1)
+		along := start + (end-start)*t
+		jitter := (rng.Float64() - 0.5) * extentFeet * 0.05
+		var northFeet, eastFeet float64
+		if eastWest {
+			northFeet, eastFeet = cross+jitter, along
+		} else {
+			northFeet, eastFeet = along, cross+jitter
+		}
+		points = append(points, offsetFeet(origin, northFeet, eastFeet))
+	}
+	return points
+}
+
+// offsetFeet returns origin displaced by the given feet north and east.
+func offsetFeet(origin Coordinate, northFeet, eastFeet float64) Coordinate {
+	lat := origin.Lat + northFeet/FeetPerDegreeLat
+	lng := origin.Lng + eastFeet/(FeetPerDegreeLat*math.Cos(origin.Lat*math.Pi/180))
+	return Coordinate{Lat: lat, Lng: lng}
+}
+
+// StudyCounties generates the paper's two-county sampling frame: a rural
+// county ("Robeson") and an urban county ("Durham"), both deterministic in
+// the seed. Road counts are chosen so that segmentation at 50 feet yields
+// a sampling frame comfortably larger than the 1,200-image study sample.
+func StudyCounties(seed int64) (*County, *County, error) {
+	rural, err := GenerateCounty(NetworkConfig{
+		Name:       "Robeson",
+		Setting:    SettingRural,
+		Origin:     Coordinate{Lat: 34.62, Lng: -79.12},
+		ExtentFeet: 26400, // ~5 miles square
+		RoadCount:  24,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("geo: generate rural county: %w", err)
+	}
+	urban, err := GenerateCounty(NetworkConfig{
+		Name:       "Durham",
+		Setting:    SettingUrban,
+		Origin:     Coordinate{Lat: 35.99, Lng: -78.90},
+		ExtentFeet: 21120, // ~4 miles square
+		RoadCount:  32,
+		Seed:       seed + 1,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("geo: generate urban county: %w", err)
+	}
+	return rural, urban, nil
+}
+
+// SampleFrame segments both study counties at the paper's 50-foot interval
+// and returns the combined sampling frame, tagged by county in order
+// (rural points first, then urban).
+func SampleFrame(rural, urban *County) ([]SamplePoint, []SamplePoint, error) {
+	rp, err := rural.Segment(SamplingIntervalFeet)
+	if err != nil {
+		return nil, nil, fmt.Errorf("geo: segment %s: %w", rural.Name, err)
+	}
+	up, err := urban.Segment(SamplingIntervalFeet)
+	if err != nil {
+		return nil, nil, fmt.Errorf("geo: segment %s: %w", urban.Name, err)
+	}
+	return rp, up, nil
+}
+
+// SelectSample draws n points from a frame uniformly without replacement,
+// deterministic in the seed, reproducing "randomly selected 1,200 images
+// from the locations". If n exceeds the frame size the whole frame is
+// returned (shuffled).
+func SelectSample(frame []SamplePoint, n int, seed int64) []SamplePoint {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(frame))
+	if n > len(frame) {
+		n = len(frame)
+	}
+	out := make([]SamplePoint, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, frame[i])
+	}
+	return out
+}

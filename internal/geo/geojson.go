@@ -1,0 +1,121 @@
+package geo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// GeoJSON export of the synthetic road network, so the generated counties
+// can be inspected in standard GIS tooling — the ecosystem the paper's
+// method is meant to slot into.
+
+type geoJSONFeature struct {
+	Type       string          `json:"type"`
+	Geometry   geoJSONGeometry `json:"geometry"`
+	Properties map[string]any  `json:"properties"`
+}
+
+type geoJSONGeometry struct {
+	Type        string       `json:"type"`
+	Coordinates [][2]float64 `json:"coordinates"`
+}
+
+type geoJSONCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+// WriteGeoJSON serializes the county's road network as a GeoJSON
+// FeatureCollection of LineStrings (GeoJSON uses [lng, lat] order).
+func (c *County) WriteGeoJSON(w io.Writer) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	col := geoJSONCollection{Type: "FeatureCollection", Features: make([]geoJSONFeature, 0, len(c.Roads))}
+	for i := range c.Roads {
+		r := &c.Roads[i]
+		coords := make([][2]float64, 0, len(r.Points))
+		for _, p := range r.Points {
+			coords = append(coords, [2]float64{p.Lng, p.Lat})
+		}
+		col.Features = append(col.Features, geoJSONFeature{
+			Type:     "Feature",
+			Geometry: geoJSONGeometry{Type: "LineString", Coordinates: coords},
+			Properties: map[string]any{
+				"id":                  r.ID,
+				"name":                r.Name,
+				"class":               r.Class.String(),
+				"lanes_per_direction": r.LanesPerDirection,
+				"urbanicity":          r.Urbanicity,
+				"county":              c.Name,
+				"setting":             c.Setting.String(),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(col); err != nil {
+		return fmt.Errorf("geo: encode geojson: %w", err)
+	}
+	return nil
+}
+
+// ReadGeoJSON parses a WriteGeoJSON document back into a county. The
+// setting is recovered from the first feature's properties.
+func ReadGeoJSON(r io.Reader) (*County, error) {
+	var col geoJSONCollection
+	if err := json.NewDecoder(r).Decode(&col); err != nil {
+		return nil, fmt.Errorf("geo: decode geojson: %w", err)
+	}
+	if col.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("geo: expected FeatureCollection, got %q", col.Type)
+	}
+	if len(col.Features) == 0 {
+		return nil, fmt.Errorf("geo: empty feature collection")
+	}
+	county := &County{}
+	for fi, f := range col.Features {
+		if f.Geometry.Type != "LineString" {
+			return nil, fmt.Errorf("geo: feature %d: unsupported geometry %q", fi, f.Geometry.Type)
+		}
+		road := Road{}
+		if v, ok := f.Properties["id"].(float64); ok {
+			road.ID = int(v)
+		} else {
+			return nil, fmt.Errorf("geo: feature %d: missing id", fi)
+		}
+		road.Name, _ = f.Properties["name"].(string)
+		if v, ok := f.Properties["lanes_per_direction"].(float64); ok {
+			road.LanesPerDirection = int(v)
+		}
+		if road.LanesPerDirection > 1 {
+			road.Class = RoadMultiLane
+		} else {
+			road.Class = RoadSingleLane
+		}
+		road.Urbanicity, _ = f.Properties["urbanicity"].(float64)
+		for _, c := range f.Geometry.Coordinates {
+			road.Points = append(road.Points, Coordinate{Lat: c[1], Lng: c[0]})
+		}
+		county.Roads = append(county.Roads, road)
+		if fi == 0 {
+			county.Name, _ = f.Properties["county"].(string)
+			switch f.Properties["setting"] {
+			case "rural":
+				county.Setting = SettingRural
+			case "urban":
+				county.Setting = SettingUrban
+			default:
+				county.Setting = SettingMixed
+			}
+			if len(road.Points) > 0 {
+				county.Origin = road.Points[0]
+			}
+		}
+	}
+	if err := county.Validate(); err != nil {
+		return nil, err
+	}
+	return county, nil
+}

@@ -1,0 +1,121 @@
+package gsv
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"nbhd/internal/geo"
+	"nbhd/internal/render"
+)
+
+// ClientConfig configures the street-view client.
+type ClientConfig struct {
+	// BaseURL is the service root.
+	BaseURL string
+	// APIKey is sent with every request.
+	APIKey string
+	// HTTPClient defaults to a 30-second-timeout client.
+	HTTPClient *http.Client
+	// CacheSize bounds the in-memory image cache (entries); zero
+	// disables caching.
+	CacheSize int
+}
+
+// Client fetches street-view imagery with optional caching — the paper's
+// collection scripts fetch each coordinate once per heading, and caching
+// keeps re-runs free.
+type Client struct {
+	cfg ClientConfig
+
+	mu    sync.Mutex
+	cache map[string]*render.Image
+	order []string
+	// Hits and Misses count cache outcomes.
+	hits, misses int
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("gsv: base URL required")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.CacheSize < 0 {
+		return nil, fmt.Errorf("gsv: cache size must be non-negative, got %d", cfg.CacheSize)
+	}
+	c := &Client{cfg: cfg}
+	if cfg.CacheSize > 0 {
+		c.cache = make(map[string]*render.Image, cfg.CacheSize)
+	}
+	return c, nil
+}
+
+// CacheStats returns hit and miss counts.
+func (c *Client) CacheStats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// FetchImage downloads the street-view frame for a coordinate and
+// heading at the given square size (0 = the 640 default).
+func (c *Client) FetchImage(ctx context.Context, loc geo.Coordinate, heading geo.Heading, size int) (*render.Image, error) {
+	if size == 0 {
+		size = DefaultImageSize
+	}
+	key := fmt.Sprintf("%.6f,%.6f/%d/%d", loc.Lat, loc.Lng, int(heading), size)
+	if c.cache != nil {
+		c.mu.Lock()
+		if img, ok := c.cache[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return img, nil
+		}
+		c.misses++
+		c.mu.Unlock()
+	}
+
+	q := url.Values{}
+	q.Set("location", fmt.Sprintf("%f,%f", loc.Lat, loc.Lng))
+	q.Set("heading", fmt.Sprintf("%d", int(heading)))
+	q.Set("size", fmt.Sprintf("%dx%d", size, size))
+	if c.cfg.APIKey != "" {
+		q.Set("key", c.cfg.APIKey)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/streetview?"+q.Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("gsv: build request: %w", err)
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("gsv: fetch: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("gsv: server returned %d: %s", resp.StatusCode, string(body))
+	}
+	img, err := render.DecodePNG(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("gsv: %w", err)
+	}
+	if c.cache != nil {
+		c.mu.Lock()
+		if len(c.order) >= c.cfg.CacheSize {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.cache, oldest)
+		}
+		c.cache[key] = img
+		c.order = append(c.order, key)
+		c.mu.Unlock()
+	}
+	return img, nil
+}

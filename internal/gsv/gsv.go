@@ -1,0 +1,261 @@
+// Package gsv simulates the Google Street View Static API the paper used
+// for data collection (§IV-A): an HTTP server that maps
+// location+heading requests to the synthetic study's frames and returns
+// rendered PNGs (with API-key checks and a request quota, mirroring "The
+// GSV image data were accessed lawfully through an API fee"), and a
+// caching client used by the collection tooling.
+package gsv
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/geo"
+	"nbhd/internal/render"
+)
+
+// DefaultImageSize is the paper's requested resolution (640x640).
+const DefaultImageSize = 640
+
+// MaxImageSize bounds server-side rendering cost.
+const MaxImageSize = 640
+
+// ServerConfig configures the image service.
+type ServerConfig struct {
+	// APIKeys lists accepted keys; empty means no auth required.
+	APIKeys []string
+	// QuotaPerKey caps requests per key when positive.
+	QuotaPerKey int
+	// MaxRenderSize caps the requested image size; zero defaults to 640.
+	MaxRenderSize int
+}
+
+// Server serves street-view frames for a study.
+type Server struct {
+	cfg   ServerConfig
+	study *dataset.Study
+
+	mu    sync.Mutex
+	usage map[string]int
+}
+
+// NewServer builds the service over a study corpus.
+func NewServer(study *dataset.Study, cfg ServerConfig) (*Server, error) {
+	if study == nil || study.Len() == 0 {
+		return nil, fmt.Errorf("gsv: server needs a non-empty study")
+	}
+	if cfg.MaxRenderSize == 0 {
+		cfg.MaxRenderSize = MaxImageSize
+	}
+	if cfg.MaxRenderSize < 16 {
+		return nil, fmt.Errorf("gsv: max render size %d too small", cfg.MaxRenderSize)
+	}
+	return &Server{cfg: cfg, study: study, usage: make(map[string]int)}, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/streetview", s.handleImage)
+	mux.HandleFunc("/streetview/metadata", s.handleMetadata)
+	return mux
+}
+
+// Usage returns the request count for a key.
+func (s *Server) Usage(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage[key]
+}
+
+// checkKey validates the API key and spends quota. It returns an HTTP
+// status (0 = OK).
+func (s *Server) checkKey(key string) (int, string) {
+	if len(s.cfg.APIKeys) > 0 {
+		valid := false
+		for _, k := range s.cfg.APIKeys {
+			if key == k {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return http.StatusForbidden, "invalid API key"
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.QuotaPerKey > 0 && s.usage[key] >= s.cfg.QuotaPerKey {
+		return http.StatusTooManyRequests, "quota exceeded"
+	}
+	s.usage[key]++
+	return 0, ""
+}
+
+// parseLocation parses "lat,lng".
+func parseLocation(v string) (geo.Coordinate, error) {
+	parts := strings.Split(v, ",")
+	if len(parts) != 2 {
+		return geo.Coordinate{}, fmt.Errorf("gsv: location %q must be \"lat,lng\"", v)
+	}
+	lat, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return geo.Coordinate{}, fmt.Errorf("gsv: bad latitude %q", parts[0])
+	}
+	lng, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return geo.Coordinate{}, fmt.Errorf("gsv: bad longitude %q", parts[1])
+	}
+	c := geo.Coordinate{Lat: lat, Lng: lng}
+	if !c.Valid() {
+		return geo.Coordinate{}, fmt.Errorf("gsv: coordinate %v out of range", c)
+	}
+	return c, nil
+}
+
+// parseSize parses "WxH" with square enforcement.
+func parseSize(v string, maxSize int) (int, error) {
+	if v == "" {
+		return DefaultImageSize, nil
+	}
+	parts := strings.Split(strings.ToLower(v), "x")
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("gsv: size %q must be \"WxH\"", v)
+	}
+	w, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, fmt.Errorf("gsv: bad width %q", parts[0])
+	}
+	h, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, fmt.Errorf("gsv: bad height %q", parts[1])
+	}
+	if w != h {
+		return 0, fmt.Errorf("gsv: only square sizes supported, got %dx%d", w, h)
+	}
+	if w < 16 || w > maxSize {
+		return 0, fmt.Errorf("gsv: size %d outside [16,%d]", w, maxSize)
+	}
+	return w, nil
+}
+
+// parseHeading parses and snaps a heading to the nearest cardinal.
+func parseHeading(v string) (geo.Heading, error) {
+	if v == "" {
+		return geo.HeadingNorth, nil
+	}
+	deg, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gsv: bad heading %q", v)
+	}
+	deg = math.Mod(math.Mod(deg, 360)+360, 360)
+	headings := geo.CardinalHeadings()
+	best := headings[0]
+	bestDiff := 360.0
+	for _, h := range headings {
+		diff := math.Abs(deg - float64(h))
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		if diff < bestDiff {
+			best, bestDiff = h, diff
+		}
+	}
+	return best, nil
+}
+
+// nearestFrame finds the study frame closest to the coordinate with the
+// given heading. It returns the frame index and the distance in feet.
+func (s *Server) nearestFrame(c geo.Coordinate, h geo.Heading) (int, float64) {
+	bestIdx, bestDist := -1, math.Inf(1)
+	for i := range s.study.Frames {
+		fr := &s.study.Frames[i]
+		if fr.Scene.Heading != h {
+			continue
+		}
+		d := fr.Scene.Point.Coordinate.DistanceFeet(c)
+		if d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	return bestIdx, bestDist
+}
+
+func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	if status, msg := s.checkKey(q.Get("key")); status != 0 {
+		http.Error(w, msg, status)
+		return
+	}
+	loc, err := parseLocation(q.Get("location"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	size, err := parseSize(q.Get("size"), s.cfg.MaxRenderSize)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	heading, err := parseHeading(q.Get("heading"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	idx, _ := s.nearestFrame(loc, heading)
+	if idx < 0 {
+		http.Error(w, "no imagery at this location", http.StatusNotFound)
+		return
+	}
+	img, err := render.Render(s.study.Frames[idx].Scene, render.Config{Width: size, Height: size})
+	if err != nil {
+		http.Error(w, "render failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	w.Header().Set("X-Frame-ID", s.study.Frames[idx].Scene.ID)
+	if err := img.EncodePNG(w); err != nil {
+		// Headers already sent; nothing else to do.
+		return
+	}
+}
+
+func (s *Server) handleMetadata(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	if status, msg := s.checkKey(q.Get("key")); status != 0 {
+		http.Error(w, msg, status)
+		return
+	}
+	loc, err := parseLocation(q.Get("location"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	heading, err := parseHeading(q.Get("heading"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	idx, dist := s.nearestFrame(loc, heading)
+	w.Header().Set("Content-Type", "application/json")
+	if idx < 0 {
+		fmt.Fprint(w, `{"status":"ZERO_RESULTS"}`)
+		return
+	}
+	fr := s.study.Frames[idx]
+	fmt.Fprintf(w, `{"status":"OK","frame_id":%q,"county":%q,"distance_feet":%.1f,"lat":%.6f,"lng":%.6f}`,
+		fr.Scene.ID, fr.County, dist, fr.Scene.Point.Coordinate.Lat, fr.Scene.Point.Coordinate.Lng)
+}

@@ -1,0 +1,275 @@
+package gsv
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/geo"
+)
+
+func testStudy(t *testing.T) *dataset.Study {
+	t.Helper()
+	st, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 10, Seed: 3})
+	if err != nil {
+		t.Fatalf("BuildStudy: %v", err)
+	}
+	return st
+}
+
+func startServer(t *testing.T, cfg ServerConfig) (*httptest.Server, *Server, *dataset.Study) {
+	t.Helper()
+	st := testStudy(t)
+	srv, err := NewServer(st, cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, st
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, ServerConfig{}); err == nil {
+		t.Error("nil study accepted")
+	}
+	if _, err := NewServer(testStudy(t), ServerConfig{MaxRenderSize: 4}); err == nil {
+		t.Error("tiny max render size accepted")
+	}
+}
+
+func TestFetchImage(t *testing.T) {
+	ts, _, st := startServer(t, ServerConfig{})
+	c, err := NewClient(ClientConfig{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	frame := st.Frames[0]
+	img, err := c.FetchImage(context.Background(), frame.Scene.Point.Coordinate, frame.Scene.Heading, 96)
+	if err != nil {
+		t.Fatalf("FetchImage: %v", err)
+	}
+	if img.W != 96 || img.H != 96 {
+		t.Errorf("image size %dx%d", img.W, img.H)
+	}
+}
+
+func TestFetchImageSizeCap(t *testing.T) {
+	ts, _, st := startServer(t, ServerConfig{MaxRenderSize: 128})
+	c, err := NewClient(ClientConfig{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := st.Frames[0]
+	// Default 640 exceeds the 128 cap -> error from server.
+	if _, err := c.FetchImage(context.Background(), frame.Scene.Point.Coordinate, frame.Scene.Heading, 0); err == nil {
+		t.Error("size above cap accepted")
+	}
+	if _, err := c.FetchImage(context.Background(), frame.Scene.Point.Coordinate, frame.Scene.Heading, 128); err != nil {
+		t.Errorf("size at cap rejected: %v", err)
+	}
+}
+
+func TestNearestFrameSelection(t *testing.T) {
+	ts, _, st := startServer(t, ServerConfig{})
+	// Request metadata slightly offset from a frame's coordinate; the
+	// service must resolve to that frame.
+	target := st.Frames[4]
+	loc := target.Scene.Point.Coordinate
+	loc.Lat += 10.0 / geo.FeetPerDegreeLat // ~10 feet north
+	url := fmt.Sprintf("%s/streetview/metadata?location=%f,%f&heading=%d",
+		ts.URL, loc.Lat, loc.Lng, int(target.Scene.Heading))
+	status, body := get(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if !strings.Contains(body, `"status":"OK"`) {
+		t.Fatalf("metadata body: %s", body)
+	}
+	if !strings.Contains(body, target.Scene.ID) {
+		t.Errorf("metadata resolved to wrong frame: %s (want %s)", body, target.Scene.ID)
+	}
+}
+
+func TestImageEndpointHeaders(t *testing.T) {
+	ts, _, st := startServer(t, ServerConfig{})
+	frame := st.Frames[2]
+	loc := frame.Scene.Point.Coordinate
+	url := fmt.Sprintf("%s/streetview?location=%f,%f&heading=%d&size=64x64",
+		ts.URL, loc.Lat, loc.Lng, int(frame.Scene.Heading))
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+		t.Errorf("content type %q", ct)
+	}
+	if id := resp.Header.Get("X-Frame-ID"); id != frame.Scene.ID {
+		t.Errorf("frame id header %q, want %q", id, frame.Scene.ID)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _, _ := startServer(t, ServerConfig{})
+	tests := []struct {
+		name string
+		path string
+		want int
+	}{
+		{"missing location", "/streetview?heading=0", http.StatusBadRequest},
+		{"malformed location", "/streetview?location=abc", http.StatusBadRequest},
+		{"out of range", "/streetview?location=95,-79", http.StatusBadRequest},
+		{"bad size", "/streetview?location=35,-79&size=64x32", http.StatusBadRequest},
+		{"bad heading", "/streetview?location=35,-79&heading=north", http.StatusBadRequest},
+		{"tiny size", "/streetview?location=35,-79&size=4x4", http.StatusBadRequest},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			status, _ := get(t, ts.URL+tt.path)
+			if status != tt.want {
+				t.Errorf("status = %d, want %d", status, tt.want)
+			}
+		})
+	}
+	// POST rejected.
+	resp, err := http.Post(ts.URL+"/streetview", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestAPIKeyEnforcement(t *testing.T) {
+	ts, srv, st := startServer(t, ServerConfig{APIKeys: []string{"secret"}, QuotaPerKey: 2})
+	loc := st.Frames[0].Scene.Point.Coordinate
+	base := fmt.Sprintf("%s/streetview?location=%f,%f&size=32x32", ts.URL, loc.Lat, loc.Lng)
+
+	if status, _ := get(t, base); status != http.StatusForbidden {
+		t.Errorf("missing key status = %d", status)
+	}
+	if status, _ := get(t, base+"&key=wrong"); status != http.StatusForbidden {
+		t.Errorf("wrong key status = %d", status)
+	}
+	for i := 0; i < 2; i++ {
+		if status, body := get(t, base+"&key=secret"); status != http.StatusOK {
+			t.Fatalf("request %d status = %d: %s", i, status, body)
+		}
+	}
+	if status, _ := get(t, base+"&key=secret"); status != http.StatusTooManyRequests {
+		t.Errorf("over-quota status = %d", status)
+	}
+	if srv.Usage("secret") != 2 {
+		t.Errorf("usage = %d", srv.Usage("secret"))
+	}
+}
+
+func TestHeadingSnapping(t *testing.T) {
+	tests := []struct {
+		in   string
+		want geo.Heading
+	}{
+		{"", geo.HeadingNorth},
+		{"0", geo.HeadingNorth},
+		{"44", geo.HeadingNorth},
+		{"46", geo.HeadingEast},
+		{"180", geo.HeadingSouth},
+		{"275", geo.HeadingWest},
+		{"359", geo.HeadingNorth},
+		{"-90", geo.HeadingWest},
+		{"450", geo.HeadingEast},
+	}
+	for _, tt := range tests {
+		got, err := parseHeading(tt.in)
+		if err != nil {
+			t.Errorf("parseHeading(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("parseHeading(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if _, err := parseHeading("NE"); err == nil {
+		t.Error("non-numeric heading accepted")
+	}
+}
+
+func TestClientCache(t *testing.T) {
+	ts, srv, st := startServer(t, ServerConfig{})
+	c, err := NewClient(ClientConfig{BaseURL: ts.URL, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := st.Frames[0]
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.FetchImage(ctx, frame.Scene.Point.Coordinate, frame.Scene.Heading, 48); err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	hits, misses := c.CacheStats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	if srv.Usage("") != 1 {
+		t.Errorf("server saw %d requests, want 1", srv.Usage(""))
+	}
+}
+
+func TestClientCacheEviction(t *testing.T) {
+	ts, _, st := startServer(t, ServerConfig{})
+	c, err := NewClient(ClientConfig{BaseURL: ts.URL, CacheSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Fetch three distinct frames; the first should be evicted.
+	for i := 0; i < 3; i++ {
+		fr := st.Frames[i*4]
+		if _, err := c.FetchImage(ctx, fr.Scene.Point.Coordinate, fr.Scene.Heading, 48); err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	fr := st.Frames[0]
+	if _, err := c.FetchImage(ctx, fr.Scene.Point.Coordinate, fr.Scene.Heading, 48); err != nil {
+		t.Fatalf("refetch: %v", err)
+	}
+	hits, misses := c.CacheStats()
+	if hits != 0 || misses != 4 {
+		t.Errorf("cache stats hits=%d misses=%d, want 0/4 after eviction", hits, misses)
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Error("missing base URL accepted")
+	}
+	if _, err := NewClient(ClientConfig{BaseURL: "http://x", CacheSize: -1}); err == nil {
+		t.Error("negative cache accepted")
+	}
+}

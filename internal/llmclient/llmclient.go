@@ -1,0 +1,302 @@
+// Package llmclient is the production-grade HTTP client for the simulated
+// LLM service: request building (PNG upload as base64 content parts),
+// retry with exponential backoff on 429/5xx, response parsing, and a
+// bounded-concurrency evaluation pool for sweeping a whole study through
+// a model.
+package llmclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nbhd/internal/llmserve"
+	"nbhd/internal/prompt"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+// Config configures a client.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// APIKey, when non-empty, is sent as a bearer token.
+	APIKey string
+	// HTTPClient defaults to a client with a 30-second timeout.
+	HTTPClient *http.Client
+	// MaxRetries is the number of retry attempts after a retryable
+	// failure (429, 5xx, transport error). Zero defaults to 3.
+	MaxRetries int
+	// BaseBackoff is the first retry delay; doubles per attempt. Zero
+	// defaults to 50ms.
+	BaseBackoff time.Duration
+}
+
+// Client talks to one server.
+type Client struct {
+	cfg Config
+}
+
+// New builds a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("llmclient: base URL required")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("llmclient: max retries must be non-negative, got %d", cfg.MaxRetries)
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// StatusError is a non-2xx API response.
+type StatusError struct {
+	StatusCode int
+	Type       string
+	Message    string
+}
+
+// Error formats the status error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("llmclient: server returned %d (%s): %s", e.StatusCode, e.Type, e.Message)
+}
+
+// retryable reports whether a status is worth retrying.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// Models lists the models served.
+func (c *Client) Models(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/v1/models", nil)
+	if err != nil {
+		return nil, fmt.Errorf("llmclient: build request: %w", err)
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("llmclient: list models: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var list llmserve.ModelList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return nil, fmt.Errorf("llmclient: decode model list: %w", err)
+	}
+	out := make([]string, 0, len(list.Data))
+	for _, m := range list.Data {
+		out = append(out, m.ID)
+	}
+	return out, nil
+}
+
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er llmserve.ErrorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.Error.Message != "" {
+		return &StatusError{StatusCode: resp.StatusCode, Type: er.Error.Type, Message: er.Error.Message}
+	}
+	return &StatusError{StatusCode: resp.StatusCode, Type: "unknown", Message: string(body)}
+}
+
+// Ask sends one prompt+image completion request and returns the reply
+// text, retrying retryable failures with exponential backoff.
+func (c *Client) Ask(ctx context.Context, model vlm.ModelID, img *render.Image, promptText string, temperature, topP float64, nonce int64) (string, error) {
+	if img == nil {
+		return "", fmt.Errorf("llmclient: nil image")
+	}
+	var png bytes.Buffer
+	if err := img.EncodePNG(&png); err != nil {
+		return "", fmt.Errorf("llmclient: %w", err)
+	}
+	body := llmserve.ChatRequest{
+		Model:       string(model),
+		Temperature: temperature,
+		TopP:        topP,
+		Nonce:       nonce,
+		Messages: []llmserve.Message{{
+			Role: "user",
+			Content: []llmserve.ContentPart{
+				{Type: "text", Text: promptText},
+				{Type: "image_png", ImagePNGBase64: base64.StdEncoding.EncodeToString(png.Bytes())},
+			},
+		}},
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return "", fmt.Errorf("llmclient: marshal request: %w", err)
+	}
+
+	backoff := c.cfg.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return "", fmt.Errorf("llmclient: %w (last error: %v)", ctx.Err(), lastErr)
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		reply, err := c.once(ctx, payload)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		var se *StatusError
+		if isStatusError(err, &se) && !retryable(se.StatusCode) {
+			return "", err
+		}
+		if ctx.Err() != nil {
+			return "", fmt.Errorf("llmclient: %w (last error: %v)", ctx.Err(), lastErr)
+		}
+	}
+	return "", fmt.Errorf("llmclient: retries exhausted: %w", lastErr)
+}
+
+func isStatusError(err error, target **StatusError) bool {
+	se, ok := err.(*StatusError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func (c *Client) once(ctx context.Context, payload []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/chat/completions", bytes.NewReader(payload))
+	if err != nil {
+		return "", fmt.Errorf("llmclient: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.cfg.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.APIKey)
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("llmclient: send: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	var out llmserve.ChatResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("llmclient: decode response: %w", err)
+	}
+	if len(out.Choices) == 0 || len(out.Choices[0].Message.Content) == 0 {
+		return "", fmt.Errorf("llmclient: response has no choices")
+	}
+	return out.Choices[0].Message.Content[0].Text, nil
+}
+
+// ClassifyOptions parameterizes a classification call.
+type ClassifyOptions struct {
+	// Language defaults to English.
+	Language prompt.Language
+	// Mode defaults to Parallel. Sequential sends one request per
+	// indicator (the paper's follow-up prompting).
+	Mode prompt.Mode
+	// Temperature and TopP are forwarded to the API (zero = provider
+	// default).
+	Temperature, TopP float64
+	// Nonce decorrelates repeats.
+	Nonce int64
+}
+
+// Classify asks the model about the given indicators on one image and
+// returns the parsed per-indicator answers.
+func (c *Client) Classify(ctx context.Context, model vlm.ModelID, img *render.Image, inds []scene.Indicator, opts ClassifyOptions) ([]bool, error) {
+	if len(inds) == 0 {
+		return nil, fmt.Errorf("llmclient: no indicators")
+	}
+	lang := opts.Language
+	if lang == 0 {
+		lang = prompt.English
+	}
+	mode := opts.Mode
+	if mode == 0 {
+		mode = prompt.Parallel
+	}
+	if mode == prompt.Parallel {
+		text, err := prompt.ParallelPrompt(inds, lang)
+		if err != nil {
+			return nil, fmt.Errorf("llmclient: %w", err)
+		}
+		reply, err := c.Ask(ctx, model, img, text, opts.Temperature, opts.TopP, opts.Nonce)
+		if err != nil {
+			return nil, err
+		}
+		answers, err := prompt.ParseAnswers(reply, len(inds), lang)
+		if err != nil {
+			return nil, fmt.Errorf("llmclient: %w", err)
+		}
+		return answers, nil
+	}
+	texts, err := prompt.SequentialPrompts(inds, lang)
+	if err != nil {
+		return nil, fmt.Errorf("llmclient: %w", err)
+	}
+	answers := make([]bool, len(inds))
+	for i, text := range texts {
+		reply, err := c.Ask(ctx, model, img, text, opts.Temperature, opts.TopP, opts.Nonce)
+		if err != nil {
+			return nil, fmt.Errorf("llmclient: sequential question %d: %w", i, err)
+		}
+		one, err := prompt.ParseAnswers(reply, 1, lang)
+		if err != nil {
+			return nil, fmt.Errorf("llmclient: sequential question %d: %w", i, err)
+		}
+		answers[i] = one[0]
+	}
+	return answers, nil
+}
+
+// BatchResult is one image's classification outcome in a batch sweep.
+type BatchResult struct {
+	// Index is the position in the input slice.
+	Index int
+	// Answers are the per-indicator answers (nil on error).
+	Answers []bool
+	// Err is the per-image failure, if any.
+	Err error
+}
+
+// ClassifyBatch sweeps a set of images through the model with bounded
+// concurrency, returning results indexed like the input. Concurrency
+// must be >= 1.
+func (c *Client) ClassifyBatch(ctx context.Context, model vlm.ModelID, images []*render.Image, inds []scene.Indicator, opts ClassifyOptions, concurrency int) ([]BatchResult, error) {
+	if concurrency < 1 {
+		return nil, fmt.Errorf("llmclient: concurrency must be >= 1, got %d", concurrency)
+	}
+	results := make([]BatchResult, len(images))
+	sem := make(chan struct{}, concurrency)
+	var wg sync.WaitGroup
+	for i := range images {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			answers, err := c.Classify(ctx, model, images[i], inds, opts)
+			results[i] = BatchResult{Index: i, Answers: answers, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results, nil
+}

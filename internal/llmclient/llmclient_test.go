@@ -1,0 +1,305 @@
+package llmclient
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/llmserve"
+	"nbhd/internal/prompt"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+func startServer(t *testing.T, cfg llmserve.Config) (*httptest.Server, *llmserve.Server) {
+	t.Helper()
+	srv, err := llmserve.NewBuiltin(cfg)
+	if err != nil {
+		t.Fatalf("NewBuiltin: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func testClient(t *testing.T, baseURL string) *Client {
+	t.Helper()
+	c, err := New(Config{BaseURL: baseURL, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func testImages(t *testing.T, n int) (*dataset.Study, []*render.Image) {
+	t.Helper()
+	st, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: (n + 3) / 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildStudy: %v", err)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	ex, err := st.RenderExamples(idx, 96)
+	if err != nil {
+		t.Fatalf("RenderExamples: %v", err)
+	}
+	imgs := make([]*render.Image, n)
+	for i := range ex {
+		imgs[i] = ex[i].Image
+	}
+	return st, imgs
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing base URL accepted")
+	}
+	if _, err := New(Config{BaseURL: "http://x", MaxRetries: -1}); err == nil {
+		t.Error("negative retries accepted")
+	}
+}
+
+func TestModels(t *testing.T) {
+	ts, _ := startServer(t, llmserve.Config{})
+	c := testClient(t, ts.URL)
+	models, err := c.Models(context.Background())
+	if err != nil {
+		t.Fatalf("Models: %v", err)
+	}
+	if len(models) != 4 {
+		t.Fatalf("models = %v", models)
+	}
+}
+
+func TestClassifyParallel(t *testing.T) {
+	ts, srv := startServer(t, llmserve.Config{})
+	c := testClient(t, ts.URL)
+	_, imgs := testImages(t, 1)
+	inds := scene.Indicators()
+	answers, err := c.Classify(context.Background(), vlm.Gemini15Pro, imgs[0], inds[:], ClassifyOptions{})
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if len(answers) != 6 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	if srv.RequestsServed() != 1 {
+		t.Errorf("parallel mode used %d requests, want 1", srv.RequestsServed())
+	}
+}
+
+func TestClassifySequentialUsesOneRequestPerQuestion(t *testing.T) {
+	ts, srv := startServer(t, llmserve.Config{})
+	c := testClient(t, ts.URL)
+	_, imgs := testImages(t, 1)
+	inds := scene.Indicators()
+	answers, err := c.Classify(context.Background(), vlm.Claude37, imgs[0], inds[:], ClassifyOptions{Mode: prompt.Sequential})
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if len(answers) != 6 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	if srv.RequestsServed() != 6 {
+		t.Errorf("sequential mode used %d requests, want 6", srv.RequestsServed())
+	}
+}
+
+func TestClassifyMatchesDirectModel(t *testing.T) {
+	// Going through the HTTP stack must produce exactly the answers the
+	// in-process model gives for the same request parameters.
+	ts, _ := startServer(t, llmserve.Config{})
+	c := testClient(t, ts.URL)
+	st, imgs := testImages(t, 8)
+	_ = st
+	inds := scene.Indicators()
+	p, err := vlm.ProfileFor(vlm.Grok2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := vlm.NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range imgs {
+		viaHTTP, err := c.Classify(context.Background(), vlm.Grok2, img, inds[:], ClassifyOptions{})
+		if err != nil {
+			t.Fatalf("Classify: %v", err)
+		}
+		// The server sees the image after PNG quantization, so the
+		// direct comparison must use the same round-tripped pixels.
+		var png bytes.Buffer
+		if err := img.EncodePNG(&png); err != nil {
+			t.Fatal(err)
+		}
+		roundTripped, err := render.DecodePNG(&png)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Classify(vlm.Request{Image: roundTripped, Indicators: inds[:]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if viaHTTP[k] != want[k] {
+				t.Fatalf("image %d indicator %d: HTTP answer %v, direct %v", i, k, viaHTTP[k], want[k])
+			}
+		}
+	}
+}
+
+func TestRetriesOn429(t *testing.T) {
+	// ~50% of requests fail with 429; retries must still land every call.
+	ts, _ := startServer(t, llmserve.Config{Failures: llmserve.FailureConfig{Prob429: 0.5, Seed: 7}})
+	c, err := New(Config{BaseURL: ts.URL, MaxRetries: 10, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imgs := testImages(t, 4)
+	inds := scene.Indicators()
+	for i, img := range imgs {
+		if _, err := c.Classify(context.Background(), vlm.Gemini15Pro, img, inds[:], ClassifyOptions{}); err != nil {
+			t.Fatalf("image %d failed despite retries: %v", i, err)
+		}
+	}
+}
+
+func TestNonRetryableFailsFast(t *testing.T) {
+	ts, srv := startServer(t, llmserve.Config{})
+	c := testClient(t, ts.URL)
+	_, imgs := testImages(t, 1)
+	// Unknown model -> 404, must not retry.
+	_, err := c.Classify(context.Background(), "nope", imgs[0], []scene.Indicator{scene.Sidewalk}, ClassifyOptions{})
+	if err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	var se *StatusError
+	if !isStatusError(err, &se) || se.StatusCode != 404 {
+		t.Errorf("error = %v, want 404 StatusError", err)
+	}
+	if srv.RequestsServed() != 0 {
+		t.Errorf("server accepted %d requests", srv.RequestsServed())
+	}
+}
+
+func TestAskValidation(t *testing.T) {
+	ts, _ := startServer(t, llmserve.Config{})
+	c := testClient(t, ts.URL)
+	if _, err := c.Ask(context.Background(), vlm.Grok2, nil, "hi", 0, 0, 0); err == nil {
+		t.Error("nil image accepted")
+	}
+	_, imgs := testImages(t, 1)
+	if _, err := c.Classify(context.Background(), vlm.Grok2, imgs[0], nil, ClassifyOptions{}); err == nil {
+		t.Error("empty indicators accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ts, _ := startServer(t, llmserve.Config{Failures: llmserve.FailureConfig{Prob429: 1, Seed: 1}})
+	c, err := New(Config{BaseURL: ts.URL, MaxRetries: 100, BaseBackoff: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imgs := testImages(t, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = c.Classify(ctx, vlm.Grok2, imgs[0], []scene.Indicator{scene.Sidewalk}, ClassifyOptions{})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestClassifyBatch(t *testing.T) {
+	ts, _ := startServer(t, llmserve.Config{})
+	c := testClient(t, ts.URL)
+	_, imgs := testImages(t, 8)
+	inds := scene.Indicators()
+	results, err := c.ClassifyBatch(context.Background(), vlm.ChatGPT4oMini, imgs, inds[:], ClassifyOptions{}, 4)
+	if err != nil {
+		t.Fatalf("ClassifyBatch: %v", err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("image %d: %v", i, r.Err)
+		}
+		if r.Index != i || len(r.Answers) != 6 {
+			t.Errorf("result %d malformed: %+v", i, r)
+		}
+	}
+	if _, err := c.ClassifyBatch(context.Background(), vlm.ChatGPT4oMini, imgs, inds[:], ClassifyOptions{}, 0); err == nil {
+		t.Error("zero concurrency accepted")
+	}
+}
+
+func TestStatusErrorMessage(t *testing.T) {
+	e := &StatusError{StatusCode: 429, Type: "quota_exceeded", Message: "slow down"}
+	if got := e.Error(); got == "" || !contains(got, "429") || !contains(got, "slow down") {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestAPIKeyAuth(t *testing.T) {
+	srv, err := llmserve.NewBuiltin(llmserve.Config{APIKeys: []string{"sk-test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	_, imgs := testImages(t, 1)
+	inds := scene.Indicators()
+
+	// Without a key: 401, no retry storm.
+	noKey, err := New(Config{BaseURL: ts.URL, BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = noKey.Classify(context.Background(), vlm.Grok2, imgs[0], inds[:], ClassifyOptions{})
+	var se *StatusError
+	if err == nil || !isStatusError(err, &se) || se.StatusCode != 401 {
+		t.Errorf("keyless request error = %v, want 401", err)
+	}
+
+	// Wrong key: 401.
+	wrong, err := New(Config{BaseURL: ts.URL, APIKey: "sk-wrong", BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrong.Classify(context.Background(), vlm.Grok2, imgs[0], inds[:], ClassifyOptions{}); err == nil {
+		t.Error("wrong key accepted")
+	}
+
+	// Correct key: success.
+	good, err := New(Config{BaseURL: ts.URL, APIKey: "sk-test", BaseBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := good.Classify(context.Background(), vlm.Grok2, imgs[0], inds[:], ClassifyOptions{})
+	if err != nil {
+		t.Fatalf("authorized request failed: %v", err)
+	}
+	if len(answers) != 6 {
+		t.Errorf("answers = %d", len(answers))
+	}
+}

@@ -1,0 +1,378 @@
+// Package llmserve hosts simulated vision LLMs behind a
+// chat-completions-style HTTP JSON API, so the evaluation pipeline
+// exercises the same code path a real deployment would: PNG images
+// uploaded as base64 content parts, prompt text parsed for language and
+// questions, per-key rate limiting, and configurable failure injection
+// (429s, 500s) for resilience testing.
+package llmserve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+
+	"nbhd/internal/prompt"
+	"nbhd/internal/render"
+	"nbhd/internal/vlm"
+)
+
+// Wire types, loosely following the OpenAI chat-completions schema the
+// paper's scripts would have used.
+
+// ContentPart is one element of a user message: text or an image.
+type ContentPart struct {
+	Type string `json:"type"`
+	// Text is set when Type == "text".
+	Text string `json:"text,omitempty"`
+	// ImagePNGBase64 is set when Type == "image_png".
+	ImagePNGBase64 string `json:"image_png_base64,omitempty"`
+}
+
+// Message is one chat message.
+type Message struct {
+	Role    string        `json:"role"`
+	Content []ContentPart `json:"content"`
+}
+
+// ChatRequest is the request body for POST /v1/chat/completions.
+type ChatRequest struct {
+	Model       string    `json:"model"`
+	Messages    []Message `json:"messages"`
+	Temperature float64   `json:"temperature,omitempty"`
+	TopP        float64   `json:"top_p,omitempty"`
+	// Nonce decorrelates repeated identical requests; optional.
+	Nonce int64 `json:"nonce,omitempty"`
+}
+
+// Choice is one completion alternative.
+type Choice struct {
+	Index        int     `json:"index"`
+	Message      Message `json:"message"`
+	FinishReason string  `json:"finish_reason"`
+}
+
+// Usage reports token accounting (approximate, for API fidelity).
+type Usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+// ChatResponse is the completion response body.
+type ChatResponse struct {
+	ID      string   `json:"id"`
+	Model   string   `json:"model"`
+	Choices []Choice `json:"choices"`
+	Usage   Usage    `json:"usage"`
+}
+
+// ErrorResponse is the error body.
+type ErrorResponse struct {
+	Error struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+// ModelList is the GET /v1/models response.
+type ModelList struct {
+	Data []ModelInfo `json:"data"`
+}
+
+// ModelInfo describes one served model.
+type ModelInfo struct {
+	ID string `json:"id"`
+}
+
+// FailureConfig injects transport-level failures for resilience testing.
+type FailureConfig struct {
+	// Prob429 is the probability a request is rejected with 429.
+	Prob429 float64
+	// Prob500 is the probability a request fails with 500.
+	Prob500 float64
+	// Seed makes injection deterministic.
+	Seed int64
+}
+
+// Validate checks probability ranges.
+func (f *FailureConfig) Validate() error {
+	if f.Prob429 < 0 || f.Prob429 > 1 || f.Prob500 < 0 || f.Prob500 > 1 {
+		return fmt.Errorf("llmserve: failure probabilities (%f, %f) outside [0,1]", f.Prob429, f.Prob500)
+	}
+	return nil
+}
+
+// Config configures the server.
+type Config struct {
+	// APIKeys lists accepted bearer tokens; empty means no auth
+	// required. Clients send "Authorization: Bearer <key>".
+	APIKeys []string
+	// RequestBudget, if positive, caps the total number of completion
+	// requests served (a simple quota, mimicking API billing limits).
+	RequestBudget int
+	// MaxImageBytes caps the decoded image payload; zero defaults to
+	// 8 MiB.
+	MaxImageBytes int
+	// Failures optionally injects errors.
+	Failures FailureConfig
+}
+
+// Server hosts simulated models.
+type Server struct {
+	cfg    Config
+	models map[vlm.ModelID]*vlm.Model
+
+	mu       sync.Mutex
+	served   int
+	failRNG  *rand.Rand
+	requests int
+}
+
+// New builds a server hosting the given models.
+func New(cfg Config, models ...*vlm.Model) (*Server, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("llmserve: server needs at least one model")
+	}
+	if err := cfg.Failures.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxImageBytes == 0 {
+		cfg.MaxImageBytes = 8 << 20
+	}
+	byID := make(map[vlm.ModelID]*vlm.Model, len(models))
+	for _, m := range models {
+		if _, dup := byID[m.ID()]; dup {
+			return nil, fmt.Errorf("llmserve: duplicate model %q", m.ID())
+		}
+		byID[m.ID()] = m
+	}
+	return &Server{
+		cfg:     cfg,
+		models:  byID,
+		failRNG: rand.New(rand.NewSource(cfg.Failures.Seed)),
+	}, nil
+}
+
+// NewBuiltin builds a server hosting all four paper models.
+func NewBuiltin(cfg Config) (*Server, error) {
+	models := make([]*vlm.Model, 0, 4)
+	for _, id := range vlm.AllModels() {
+		p, err := vlm.ProfileFor(id)
+		if err != nil {
+			return nil, err
+		}
+		m, err := vlm.NewModel(p)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	return New(cfg, models...)
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/chat/completions", s.handleChat)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	return mux
+}
+
+// RequestsServed returns the number of completion requests accepted.
+func (s *Server) RequestsServed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+func writeError(w http.ResponseWriter, status int, typ, msg string) {
+	var body ErrorResponse
+	body.Error.Message = msg
+	body.Error.Type = typ
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use GET")
+		return
+	}
+	var list ModelList
+	for id := range s.models {
+		list.Data = append(list.Data, ModelInfo{ID: string(id)})
+	}
+	// Stable order for clients.
+	for i := 1; i < len(list.Data); i++ {
+		for j := i; j > 0 && list.Data[j-1].ID > list.Data[j].ID; j-- {
+			list.Data[j-1], list.Data[j] = list.Data[j], list.Data[j-1]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(list)
+}
+
+// injectFailure rolls the failure dice under the server lock.
+func (s *Server) injectFailure() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	roll := s.failRNG.Float64()
+	if roll < s.cfg.Failures.Prob429 {
+		return http.StatusTooManyRequests
+	}
+	if roll < s.cfg.Failures.Prob429+s.cfg.Failures.Prob500 {
+		return http.StatusInternalServerError
+	}
+	return 0
+}
+
+// authorize checks the Authorization header against the configured keys.
+func (s *Server) authorize(r *http.Request) bool {
+	if len(s.cfg.APIKeys) == 0 {
+		return true
+	}
+	header := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(header, prefix) {
+		return false
+	}
+	token := header[len(prefix):]
+	for _, k := range s.cfg.APIKeys {
+		if token == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+		return
+	}
+	if !s.authorize(r) {
+		writeError(w, http.StatusUnauthorized, "authentication_error", "missing or invalid API key")
+		return
+	}
+	if status := s.injectFailure(); status != 0 {
+		writeError(w, status, "server_error", "injected failure")
+		return
+	}
+	s.mu.Lock()
+	if s.cfg.RequestBudget > 0 && s.served >= s.cfg.RequestBudget {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests, "quota_exceeded", "request budget exhausted")
+		return
+	}
+	s.mu.Unlock()
+
+	var req ChatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	model, ok := s.models[vlm.ModelID(req.Model)]
+	if !ok {
+		writeError(w, http.StatusNotFound, "model_not_found", fmt.Sprintf("unknown model %q", req.Model))
+		return
+	}
+	text, img, err := s.extractContent(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+
+	lang := prompt.DetectLanguage(text)
+	inds := prompt.QuestionsIn(text, lang)
+	if len(inds) == 0 {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "prompt contains no recognizable indicator question")
+		return
+	}
+	mode := prompt.Parallel
+	if len(inds) == 1 {
+		mode = prompt.Sequential
+	}
+	answers, err := model.Classify(vlm.Request{
+		Image:       img,
+		Indicators:  inds,
+		Language:    lang,
+		Mode:        mode,
+		Temperature: req.Temperature,
+		TopP:        req.TopP,
+		Nonce:       req.Nonce,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	s.served++
+	id := fmt.Sprintf("chatcmpl-%06d", s.served)
+	s.mu.Unlock()
+
+	reply := prompt.FormatAnswers(answers, lang)
+	resp := ChatResponse{
+		ID:    id,
+		Model: req.Model,
+		Choices: []Choice{{
+			Index:        0,
+			Message:      Message{Role: "assistant", Content: []ContentPart{{Type: "text", Text: reply}}},
+			FinishReason: "stop",
+		}},
+		Usage: Usage{
+			PromptTokens:     len(text)/4 + 256, // text + image budget
+			CompletionTokens: len(reply) / 4,
+		},
+	}
+	resp.Usage.TotalTokens = resp.Usage.PromptTokens + resp.Usage.CompletionTokens
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// extractContent pulls the prompt text and decoded image out of the
+// message list.
+func (s *Server) extractContent(req ChatRequest) (string, *render.Image, error) {
+	var textParts []string
+	var img *render.Image
+	for _, msg := range req.Messages {
+		if msg.Role != "user" {
+			continue
+		}
+		for _, part := range msg.Content {
+			switch part.Type {
+			case "text":
+				textParts = append(textParts, part.Text)
+			case "image_png":
+				raw, err := base64.StdEncoding.DecodeString(part.ImagePNGBase64)
+				if err != nil {
+					return "", nil, fmt.Errorf("image is not valid base64: %v", err)
+				}
+				if len(raw) > s.cfg.MaxImageBytes {
+					return "", nil, fmt.Errorf("image payload %d bytes exceeds limit %d", len(raw), s.cfg.MaxImageBytes)
+				}
+				decoded, err := render.DecodePNG(bytes.NewReader(raw))
+				if err != nil {
+					return "", nil, fmt.Errorf("image is not valid PNG: %v", err)
+				}
+				img = decoded
+			default:
+				return "", nil, fmt.Errorf("unsupported content part type %q", part.Type)
+			}
+		}
+	}
+	if len(textParts) == 0 {
+		return "", nil, fmt.Errorf("request has no text content")
+	}
+	if img == nil {
+		return "", nil, fmt.Errorf("request has no image content")
+	}
+	return strings.Join(textParts, "\n"), img, nil
+}

@@ -1,0 +1,302 @@
+package llmserve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/prompt"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewBuiltin(cfg)
+	if err != nil {
+		t.Fatalf("NewBuiltin: %v", err)
+	}
+	return s
+}
+
+func testImagePNG(t *testing.T) string {
+	t.Helper()
+	st, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 1, Seed: 1})
+	if err != nil {
+		t.Fatalf("BuildStudy: %v", err)
+	}
+	ex, err := st.RenderExamples([]int{0}, 96)
+	if err != nil {
+		t.Fatalf("RenderExamples: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ex[0].Image.EncodePNG(&buf); err != nil {
+		t.Fatalf("EncodePNG: %v", err)
+	}
+	return base64.StdEncoding.EncodeToString(buf.Bytes())
+}
+
+func chatBody(t *testing.T, model, text, imgB64 string) []byte {
+	t.Helper()
+	req := ChatRequest{
+		Model: model,
+		Messages: []Message{{
+			Role: "user",
+			Content: []ContentPart{
+				{Type: "text", Text: text},
+				{Type: "image_png", ImagePNGBase64: imgB64},
+			},
+		}},
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func parallelText(t *testing.T) string {
+	t.Helper()
+	order := prompt.PaperOrder()
+	text, err := prompt.ParallelPrompt(order[:], prompt.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text
+}
+
+func post(t *testing.T, h http.Handler, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/chat/completions", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty model list accepted")
+	}
+	if _, err := NewBuiltin(Config{Failures: FailureConfig{Prob429: 2}}); err == nil {
+		t.Error("bad failure config accepted")
+	}
+	p, err := vlm.ProfileFor(vlm.Grok2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vlm.NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{}, m, m); err == nil {
+		t.Error("duplicate model accepted")
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	s := testServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/models", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var list ModelList
+	if err := json.NewDecoder(rec.Body).Decode(&list); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(list.Data) != 4 {
+		t.Fatalf("models = %d", len(list.Data))
+	}
+	// Sorted.
+	for i := 1; i < len(list.Data); i++ {
+		if list.Data[i-1].ID > list.Data[i].ID {
+			t.Error("model list not sorted")
+		}
+	}
+	// POST rejected.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/models", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/models = %d", rec.Code)
+	}
+}
+
+func TestChatCompletionHappyPath(t *testing.T) {
+	s := testServer(t, Config{})
+	img := testImagePNG(t)
+	rec := post(t, s.Handler(), chatBody(t, string(vlm.Gemini15Pro), parallelText(t), img))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp ChatResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.Choices) != 1 {
+		t.Fatalf("choices = %d", len(resp.Choices))
+	}
+	reply := resp.Choices[0].Message.Content[0].Text
+	answers, err := prompt.ParseAnswers(reply, 6, prompt.English)
+	if err != nil {
+		t.Fatalf("reply %q: %v", reply, err)
+	}
+	if len(answers) != 6 {
+		t.Errorf("answers = %d", len(answers))
+	}
+	if resp.Usage.TotalTokens <= 0 {
+		t.Error("usage not reported")
+	}
+	if s.RequestsServed() != 1 {
+		t.Errorf("served = %d", s.RequestsServed())
+	}
+}
+
+func TestChatCompletionSequentialSingleQuestion(t *testing.T) {
+	s := testServer(t, Config{})
+	img := testImagePNG(t)
+	q, err := prompt.Question(scene.Powerline, prompt.English)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, s.Handler(), chatBody(t, string(vlm.Claude37), q, img))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp ChatResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prompt.ParseAnswers(resp.Choices[0].Message.Content[0].Text, 1, prompt.English); err != nil {
+		t.Errorf("single answer unparseable: %v", err)
+	}
+}
+
+func TestChatCompletionSpanish(t *testing.T) {
+	s := testServer(t, Config{})
+	img := testImagePNG(t)
+	order := prompt.PaperOrder()
+	text, err := prompt.ParallelPrompt(order[:], prompt.Spanish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, s.Handler(), chatBody(t, string(vlm.Gemini15Pro), text, img))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body = %s", rec.Code, rec.Body.String())
+	}
+	var resp ChatResponse
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	reply := resp.Choices[0].Message.Content[0].Text
+	if _, err := prompt.ParseAnswers(reply, 6, prompt.Spanish); err != nil {
+		t.Errorf("Spanish reply %q unparseable: %v", reply, err)
+	}
+}
+
+func TestChatCompletionErrors(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	img := testImagePNG(t)
+
+	tests := []struct {
+		name string
+		body []byte
+		want int
+	}{
+		{"malformed json", []byte("{"), http.StatusBadRequest},
+		{"unknown model", chatBody(t, "gpt-9", parallelText(t), img), http.StatusNotFound},
+		{"no questions", chatBody(t, string(vlm.Grok2), "describe this image", img), http.StatusBadRequest},
+		{"bad base64", chatBody(t, string(vlm.Grok2), parallelText(t), "!!!"), http.StatusBadRequest},
+		{"bad png", chatBody(t, string(vlm.Grok2), parallelText(t), base64.StdEncoding.EncodeToString([]byte("nope"))), http.StatusBadRequest},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rec := post(t, h, tt.body)
+			if rec.Code != tt.want {
+				t.Errorf("status = %d, want %d (body %s)", rec.Code, tt.want, rec.Body.String())
+			}
+		})
+	}
+
+	// Missing image.
+	req := ChatRequest{
+		Model:    string(vlm.Grok2),
+		Messages: []Message{{Role: "user", Content: []ContentPart{{Type: "text", Text: parallelText(t)}}}},
+	}
+	b, _ := json.Marshal(req)
+	if rec := post(t, h, b); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing image status = %d", rec.Code)
+	}
+	// GET method rejected.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/chat/completions", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", rec.Code)
+	}
+}
+
+func TestImageSizeLimit(t *testing.T) {
+	s := testServer(t, Config{MaxImageBytes: 10})
+	rec := post(t, s.Handler(), chatBody(t, string(vlm.Grok2), parallelText(t), testImagePNG(t)))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized image status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "exceeds limit") {
+		t.Errorf("unexpected error body: %s", rec.Body.String())
+	}
+}
+
+func TestRequestBudget(t *testing.T) {
+	s := testServer(t, Config{RequestBudget: 2})
+	h := s.Handler()
+	img := testImagePNG(t)
+	body := chatBody(t, string(vlm.Grok2), parallelText(t), img)
+	for i := 0; i < 2; i++ {
+		if rec := post(t, h, body); rec.Code != http.StatusOK {
+			t.Fatalf("request %d status = %d", i, rec.Code)
+		}
+	}
+	if rec := post(t, h, body); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("over-budget status = %d", rec.Code)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	s := testServer(t, Config{Failures: FailureConfig{Prob429: 1, Seed: 1}})
+	rec := post(t, s.Handler(), chatBody(t, string(vlm.Grok2), parallelText(t), testImagePNG(t)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", rec.Code)
+	}
+	s = testServer(t, Config{Failures: FailureConfig{Prob500: 1, Seed: 1}})
+	rec = post(t, s.Handler(), chatBody(t, string(vlm.Grok2), parallelText(t), testImagePNG(t)))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+}
+
+func TestDeterministicAnswersAcrossRequests(t *testing.T) {
+	s := testServer(t, Config{})
+	h := s.Handler()
+	body := chatBody(t, string(vlm.ChatGPT4oMini), parallelText(t), testImagePNG(t))
+	reply := func() string {
+		rec := post(t, h, body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d", rec.Code)
+		}
+		var resp ChatResponse
+		if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Choices[0].Message.Content[0].Text
+	}
+	if a, b := reply(), reply(); a != b {
+		t.Errorf("identical requests got different replies: %q vs %q", a, b)
+	}
+}

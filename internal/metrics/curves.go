@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"nbhd/internal/scene"
+)
+
+// PRPoint is one operating point on a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve extracts the precision-recall curve for one class from scored
+// detections: each distinct score is an operating point, highest first.
+// The returned points are in decreasing-threshold order (recall
+// non-decreasing).
+func PRCurve(images []ImageEval, class scene.Indicator, iouThresh float64) ([]PRPoint, error) {
+	if iouThresh <= 0 || iouThresh >= 1 {
+		return nil, fmt.Errorf("metrics: IoU threshold %f outside (0,1)", iouThresh)
+	}
+	matches, totalGT, _ := matchClass(images, class, iouThresh)
+	if totalGT == 0 {
+		return nil, fmt.Errorf("metrics: no %v ground truth", class)
+	}
+	points := make([]PRPoint, 0, len(matches))
+	tp, fp := 0, 0
+	for i, m := range matches {
+		if m.tp {
+			tp++
+		} else {
+			fp++
+		}
+		// Emit a point at the last detection of each score tier.
+		if i+1 < len(matches) && matches[i+1].score == m.score {
+			continue
+		}
+		points = append(points, PRPoint{
+			Threshold: m.score,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(totalGT),
+		})
+	}
+	return points, nil
+}
+
+// MCC returns the Matthews correlation coefficient of a confusion
+// matrix, a balance-robust single-number summary in [-1,1]; degenerate
+// matrices return 0.
+func (c Confusion) MCC() float64 {
+	tp, fp, tn, fn := float64(c.TP), float64(c.FP), float64(c.TN), float64(c.FN)
+	denom := math.Sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+	if denom == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / denom
+}
+
+// BalancedAccuracy returns (TPR+TNR)/2, robust to class imbalance;
+// degenerate matrices return 0.
+func (c Confusion) BalancedAccuracy() float64 {
+	var tpr, tnr float64
+	posOK := c.TP+c.FN > 0
+	negOK := c.TN+c.FP > 0
+	if posOK {
+		tpr = float64(c.TP) / float64(c.TP+c.FN)
+	}
+	if negOK {
+		tnr = float64(c.TN) / float64(c.TN+c.FP)
+	}
+	if !posOK && !negOK {
+		return 0
+	}
+	if !posOK {
+		return tnr
+	}
+	if !negOK {
+		return tpr
+	}
+	return (tpr + tnr) / 2
+}
+
+// MicroAverages pools all per-class confusions into one matrix and
+// returns its metrics — the counterpart to the macro Averages the paper
+// reports.
+func (r *ClassReport) MicroAverages() (precision, recall, f1, accuracy float64) {
+	var pooled Confusion
+	for i := 0; i < scene.NumIndicators; i++ {
+		pooled.Merge(r.PerClass[i])
+	}
+	return pooled.Precision(), pooled.Recall(), pooled.F1(), pooled.Accuracy()
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"nbhd/internal/scene"
+)
+
+// IoU50 is the paper's mAP IoU threshold.
+const IoU50 = 0.5
+
+// Detection is one scored predicted box.
+type Detection struct {
+	Class scene.Indicator
+	BBox  scene.Rect
+	Score float64
+}
+
+// ImageEval pairs one image's predictions with its ground truth.
+type ImageEval struct {
+	ImageID string
+	Dets    []Detection
+	Truth   []scene.Object
+}
+
+// APResult holds one class's average precision and supporting counts.
+type APResult struct {
+	AP           float64
+	GroundTruths int
+	Detections   int
+}
+
+// scoredMatch is one detection's match outcome in ranked order.
+type scoredMatch struct {
+	score float64
+	tp    bool
+}
+
+// APPerClass computes per-class average precision at the given IoU
+// threshold using greedy highest-score-first matching (each ground truth
+// matches at most one detection), with AP as the area under the
+// interpolated precision-recall curve — the standard protocol behind the
+// paper's mAP50 column.
+func APPerClass(images []ImageEval, iouThresh float64) (map[scene.Indicator]APResult, error) {
+	if iouThresh <= 0 || iouThresh >= 1 {
+		return nil, fmt.Errorf("metrics: IoU threshold %f outside (0,1)", iouThresh)
+	}
+	out := make(map[scene.Indicator]APResult, scene.NumIndicators)
+	for _, class := range scene.Indicators() {
+		matches, totalGT, totalDet := matchClass(images, class, iouThresh)
+		out[class] = APResult{
+			AP:           apFromMatches(matches, totalGT),
+			GroundTruths: totalGT,
+			Detections:   totalDet,
+		}
+	}
+	return out, nil
+}
+
+// matchClass ranks all detections of one class across images by score and
+// greedily matches each to the best unmatched ground truth in its image.
+func matchClass(images []ImageEval, class scene.Indicator, iouThresh float64) (matches []scoredMatch, totalGT, totalDet int) {
+	type det struct {
+		imgIdx int
+		d      Detection
+	}
+	var dets []det
+	gtBoxes := make([][]scene.Rect, len(images))
+	for i, img := range images {
+		for _, o := range img.Truth {
+			if o.Indicator == class {
+				gtBoxes[i] = append(gtBoxes[i], o.BBox)
+				totalGT++
+			}
+		}
+		for _, d := range img.Dets {
+			if d.Class == class {
+				dets = append(dets, det{imgIdx: i, d: d})
+				totalDet++
+			}
+		}
+	}
+	sort.SliceStable(dets, func(a, b int) bool { return dets[a].d.Score > dets[b].d.Score })
+	used := make([]map[int]bool, len(images))
+	for i := range used {
+		used[i] = make(map[int]bool)
+	}
+	matches = make([]scoredMatch, 0, len(dets))
+	for _, d := range dets {
+		bestIoU, bestIdx := 0.0, -1
+		for gi, gb := range gtBoxes[d.imgIdx] {
+			if used[d.imgIdx][gi] {
+				continue
+			}
+			if iou := d.d.BBox.IoU(gb); iou > bestIoU {
+				bestIoU, bestIdx = iou, gi
+			}
+		}
+		tp := bestIdx >= 0 && bestIoU >= iouThresh
+		if tp {
+			used[d.imgIdx][bestIdx] = true
+		}
+		matches = append(matches, scoredMatch{score: d.d.Score, tp: tp})
+	}
+	return matches, totalGT, totalDet
+}
+
+// apFromMatches integrates the precision-recall curve with monotone
+// interpolation (precision envelope), the PASCAL VOC "all points" method.
+func apFromMatches(matches []scoredMatch, totalGT int) float64 {
+	if totalGT == 0 {
+		return 0
+	}
+	precisions := make([]float64, 0, len(matches))
+	recalls := make([]float64, 0, len(matches))
+	tp, fp := 0, 0
+	for _, m := range matches {
+		if m.tp {
+			tp++
+		} else {
+			fp++
+		}
+		precisions = append(precisions, float64(tp)/float64(tp+fp))
+		recalls = append(recalls, float64(tp)/float64(totalGT))
+	}
+	// Monotone non-increasing precision envelope from the right.
+	for i := len(precisions) - 2; i >= 0; i-- {
+		if precisions[i] < precisions[i+1] {
+			precisions[i] = precisions[i+1]
+		}
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for i := range precisions {
+		ap += (recalls[i] - prevRecall) * precisions[i]
+		prevRecall = recalls[i]
+	}
+	return ap
+}
+
+// MeanAP averages AP over the classes present in the result map.
+func MeanAP(perClass map[scene.Indicator]APResult) float64 {
+	if len(perClass) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range perClass {
+		sum += r.AP
+	}
+	return sum / float64(len(perClass))
+}
+
+// DetectionReport computes per-class detection precision/recall/F1 at a
+// fixed score threshold — Table I's non-mAP columns. A detection above
+// the threshold is a true positive if it greedily matches an unmatched
+// ground truth at IoU >= iouThresh; unmatched ground truths are false
+// negatives.
+func DetectionReport(images []ImageEval, scoreThresh, iouThresh float64) (*ClassReport, error) {
+	if iouThresh <= 0 || iouThresh >= 1 {
+		return nil, fmt.Errorf("metrics: IoU threshold %f outside (0,1)", iouThresh)
+	}
+	var report ClassReport
+	for _, class := range scene.Indicators() {
+		filtered := filterByScore(images, scoreThresh)
+		matches, totalGT, _ := matchClass(filtered, class, iouThresh)
+		tp := 0
+		for _, m := range matches {
+			if m.tp {
+				tp++
+			}
+		}
+		idx := class.Index()
+		report.PerClass[idx].TP = tp
+		report.PerClass[idx].FP = len(matches) - tp
+		report.PerClass[idx].FN = totalGT - tp
+	}
+	return &report, nil
+}
+
+// filterByScore drops detections below the threshold.
+func filterByScore(images []ImageEval, scoreThresh float64) []ImageEval {
+	out := make([]ImageEval, len(images))
+	for i, img := range images {
+		kept := make([]Detection, 0, len(img.Dets))
+		for _, d := range img.Dets {
+			if d.Score >= scoreThresh {
+				kept = append(kept, d)
+			}
+		}
+		out[i] = ImageEval{ImageID: img.ImageID, Dets: kept, Truth: img.Truth}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nbhd/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW tensors, implemented with im2col
+// and the tensor package's matrix multiply.
+type Conv2D struct {
+	InChannels, OutChannels int
+	KernelSize, Stride, Pad int
+
+	weight *Param // (OutChannels, InChannels*K*K)
+	bias   *Param // (OutChannels)
+
+	// Forward cache.
+	input *tensor.Tensor
+	cols  []*tensor.Tensor // one im2col matrix per batch sample
+	outH  int
+	outW  int
+}
+
+// NewConv2D constructs a convolution with He initialization.
+func NewConv2D(inC, outC, kernel, stride, pad int, rng *rand.Rand) (*Conv2D, error) {
+	if inC <= 0 || outC <= 0 {
+		return nil, fmt.Errorf("nn: conv channels must be positive, got %d -> %d", inC, outC)
+	}
+	if kernel <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: conv kernel/stride/pad invalid: k=%d s=%d p=%d", kernel, stride, pad)
+	}
+	w, err := newParam(fmt.Sprintf("conv%dx%d_w", inC, outC), outC, inC*kernel*kernel)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Value.HeInit(inC*kernel*kernel, rng); err != nil {
+		return nil, err
+	}
+	b, err := newParam(fmt.Sprintf("conv%dx%d_b", inC, outC), outC)
+	if err != nil {
+		return nil, err
+	}
+	return &Conv2D{
+		InChannels:  inC,
+		OutChannels: outC,
+		KernelSize:  kernel,
+		Stride:      stride,
+		Pad:         pad,
+		weight:      w,
+		bias:        b,
+	}, nil
+}
+
+// OutSize returns the spatial output size for an input size.
+func (c *Conv2D) OutSize(in int) int {
+	return (in+2*c.Pad-c.KernelSize)/c.Stride + 1
+}
+
+// Forward computes the convolution for a batch (N, Cin, H, W).
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("nn: conv expects NCHW input, got shape %v", x.Shape)
+	}
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if ch != c.InChannels {
+		return nil, fmt.Errorf("nn: conv expects %d input channels, got %d", c.InChannels, ch)
+	}
+	outH, outW := c.OutSize(h), c.OutSize(w)
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: conv output degenerate for input %dx%d (k=%d s=%d p=%d)", h, w, c.KernelSize, c.Stride, c.Pad)
+	}
+	c.input = x
+	c.outH, c.outW = outH, outW
+	c.cols = make([]*tensor.Tensor, n)
+	out := tensor.MustNew(n, c.OutChannels, outH, outW)
+	for s := 0; s < n; s++ {
+		col := c.im2col(x, s, h, w, outH, outW)
+		c.cols[s] = col
+		prod, err := tensor.MatMul(c.weight.Value, col) // (outC, outH*outW)
+		if err != nil {
+			return nil, fmt.Errorf("nn: conv forward: %w", err)
+		}
+		dst := out.Data[s*c.OutChannels*outH*outW : (s+1)*c.OutChannels*outH*outW]
+		copy(dst, prod.Data)
+		// Add bias per output channel.
+		for oc := 0; oc < c.OutChannels; oc++ {
+			bv := c.bias.Value.Data[oc]
+			seg := dst[oc*outH*outW : (oc+1)*outH*outW]
+			for i := range seg {
+				seg[i] += bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// im2col unrolls one sample's receptive fields into a
+// (Cin*K*K, outH*outW) matrix.
+func (c *Conv2D) im2col(x *tensor.Tensor, sample, h, w, outH, outW int) *tensor.Tensor {
+	k := c.KernelSize
+	col := tensor.MustNew(c.InChannels*k*k, outH*outW)
+	chStride := h * w
+	base := sample * c.InChannels * chStride
+	row := 0
+	for ci := 0; ci < c.InChannels; ci++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				dst := col.Data[row*outH*outW : (row+1)*outH*outW]
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*c.Stride - c.Pad + ky
+					if iy < 0 || iy >= h {
+						idx += outW
+						continue
+					}
+					srcRow := base + ci*chStride + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*c.Stride - c.Pad + kx
+						if ix >= 0 && ix < w {
+							dst[idx] = x.Data[srcRow+ix]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return col
+}
+
+// Backward accumulates weight/bias gradients and returns the input
+// gradient.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.input == nil {
+		return nil, fmt.Errorf("nn: conv backward before forward")
+	}
+	n := c.input.Shape[0]
+	h, w := c.input.Shape[2], c.input.Shape[3]
+	outH, outW := c.outH, c.outW
+	wantShape := []int{n, c.OutChannels, outH, outW}
+	if len(gradOut.Shape) != 4 || gradOut.Shape[0] != n || gradOut.Shape[1] != c.OutChannels || gradOut.Shape[2] != outH || gradOut.Shape[3] != outW {
+		return nil, fmt.Errorf("nn: conv backward got grad shape %v, want %v", gradOut.Shape, wantShape)
+	}
+	gradIn := tensor.MustNew(n, c.InChannels, h, w)
+	for s := 0; s < n; s++ {
+		gseg := gradOut.Data[s*c.OutChannels*outH*outW : (s+1)*c.OutChannels*outH*outW]
+		gmat, err := tensor.FromSlice(gseg, c.OutChannels, outH*outW)
+		if err != nil {
+			return nil, err
+		}
+		// dW += g · colᵀ
+		dw, err := tensor.MatMulTransB(gmat, c.cols[s])
+		if err != nil {
+			return nil, fmt.Errorf("nn: conv backward dW: %w", err)
+		}
+		if err := c.weight.Grad.AddScaled(dw, 1); err != nil {
+			return nil, err
+		}
+		// db += row sums of g.
+		for oc := 0; oc < c.OutChannels; oc++ {
+			var sum float32
+			for _, v := range gseg[oc*outH*outW : (oc+1)*outH*outW] {
+				sum += v
+			}
+			c.bias.Grad.Data[oc] += sum
+		}
+		// dcol = Wᵀ · g, scattered back via col2im.
+		dcol, err := tensor.MatMulTransA(c.weight.Value, gmat)
+		if err != nil {
+			return nil, fmt.Errorf("nn: conv backward dcol: %w", err)
+		}
+		c.col2im(dcol, gradIn, s, h, w, outH, outW)
+	}
+	return gradIn, nil
+}
+
+// col2im scatter-adds a column-gradient matrix back into image layout.
+func (c *Conv2D) col2im(dcol, gradIn *tensor.Tensor, sample, h, w, outH, outW int) {
+	k := c.KernelSize
+	chStride := h * w
+	base := sample * c.InChannels * chStride
+	row := 0
+	for ci := 0; ci < c.InChannels; ci++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				src := dcol.Data[row*outH*outW : (row+1)*outH*outW]
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*c.Stride - c.Pad + ky
+					if iy < 0 || iy >= h {
+						idx += outW
+						continue
+					}
+					dstRow := base + ci*chStride + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*c.Stride - c.Pad + kx
+						if ix >= 0 && ix < w {
+							gradIn.Data[dstRow+ix] += src[idx]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Params returns the weight and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }

@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nbhd/internal/tensor"
+)
+
+// Dropout zeros a random fraction of activations during training and
+// scales the survivors by 1/(1-rate) (inverted dropout), passing
+// activations through unchanged at inference.
+type Dropout struct {
+	Rate float64
+
+	rng  *rand.Rand
+	mask []bool
+}
+
+// NewDropout constructs the layer. Rate must be in [0,1).
+func NewDropout(rate float64, seed int64) (*Dropout, error) {
+	if rate < 0 || rate >= 1 {
+		return nil, fmt.Errorf("nn: dropout rate %f outside [0,1)", rate)
+	}
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Forward applies the mask in training mode.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x.Clone(), nil
+	}
+	out := x.Clone()
+	d.mask = make([]bool, len(out.Data))
+	scale := float32(1 / (1 - d.Rate))
+	for i := range out.Data {
+		if d.rng.Float64() < d.Rate {
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	return out, nil
+}
+
+// Backward routes gradients through the surviving units with the same
+// scale.
+func (d *Dropout) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.mask == nil {
+		// Inference-mode pass-through (or rate 0).
+		return gradOut.Clone(), nil
+	}
+	if len(d.mask) != gradOut.NumElems() {
+		return nil, fmt.Errorf("nn: dropout backward grad has %d elems, mask has %d", gradOut.NumElems(), len(d.mask))
+	}
+	out := gradOut.Clone()
+	scale := float32(1 / (1 - d.Rate))
+	for i := range out.Data {
+		if d.mask[i] {
+			out.Data[i] *= scale
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Params returns nil; dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,228 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nbhd/internal/tensor"
+)
+
+// MaxPool2D is a max pooling layer over NCHW tensors.
+type MaxPool2D struct {
+	Size, Stride int
+
+	input   *tensor.Tensor
+	argmax  []int // flat input index chosen for each output element
+	outDims []int
+}
+
+// NewMaxPool2D constructs a pooling layer; stride 0 defaults to the
+// window size (non-overlapping pooling).
+func NewMaxPool2D(size, stride int) (*MaxPool2D, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("nn: pool size must be positive, got %d", size)
+	}
+	if stride == 0 {
+		stride = size
+	}
+	if stride < 0 {
+		return nil, fmt.Errorf("nn: pool stride must be positive, got %d", stride)
+	}
+	return &MaxPool2D{Size: size, Stride: stride}, nil
+}
+
+// Forward computes max pooling.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("nn: pool expects NCHW input, got %v", x.Shape)
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outH := (h-p.Size)/p.Stride + 1
+	outW := (w-p.Size)/p.Stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: pool output degenerate for %dx%d (size=%d stride=%d)", h, w, p.Size, p.Stride)
+	}
+	out := tensor.MustNew(n, c, outH, outW)
+	p.input = x
+	p.argmax = make([]int, out.NumElems())
+	p.outDims = []int{n, c, outH, outW}
+	oi := 0
+	for s := 0; s < n; s++ {
+		for ci := 0; ci < c; ci++ {
+			chBase := (s*c + ci) * h * w
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ky := 0; ky < p.Size; ky++ {
+						iy := oy*p.Stride + ky
+						for kx := 0; kx < p.Size; kx++ {
+							ix := ox*p.Stride + kx
+							idx := chBase + iy*w + ix
+							if v := x.Data[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					p.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward routes gradients to the argmax positions.
+func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if p.input == nil {
+		return nil, fmt.Errorf("nn: pool backward before forward")
+	}
+	if gradOut.NumElems() != len(p.argmax) {
+		return nil, fmt.Errorf("nn: pool backward grad has %d elems, want %d", gradOut.NumElems(), len(p.argmax))
+	}
+	gradIn := tensor.MustNew(p.input.Shape...)
+	for i, src := range p.argmax {
+		gradIn.Data[src] += gradOut.Data[i]
+	}
+	return gradIn, nil
+}
+
+// Params returns nil; pooling has no parameters.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// LeakyReLU is max(x, alpha*x); alpha 0 gives plain ReLU.
+type LeakyReLU struct {
+	Alpha float32
+	input *tensor.Tensor
+}
+
+// NewLeakyReLU constructs the activation. Alpha must be in [0,1).
+func NewLeakyReLU(alpha float32) (*LeakyReLU, error) {
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("nn: leaky relu alpha %f outside [0,1)", alpha)
+	}
+	return &LeakyReLU{Alpha: alpha}, nil
+}
+
+// Forward applies the activation elementwise.
+func (r *LeakyReLU) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	r.input = x
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = r.Alpha * v
+		}
+	}
+	return out, nil
+}
+
+// Backward scales gradients by the activation's slope at the cached
+// input.
+func (r *LeakyReLU) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if r.input == nil {
+		return nil, fmt.Errorf("nn: relu backward before forward")
+	}
+	if !gradOut.SameShape(r.input) {
+		return nil, fmt.Errorf("nn: relu backward shape %v, want %v", gradOut.Shape, r.input.Shape)
+	}
+	gradIn := gradOut.Clone()
+	for i, v := range r.input.Data {
+		if v < 0 {
+			gradIn.Data[i] *= r.Alpha
+		}
+	}
+	return gradIn, nil
+}
+
+// Params returns nil; activations have no parameters.
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Linear is a fully connected layer over (N, In) tensors.
+type Linear struct {
+	In, Out int
+	weight  *Param // (In, Out)
+	bias    *Param // (Out)
+	input   *tensor.Tensor
+}
+
+// NewLinear constructs a fully connected layer with He initialization.
+func NewLinear(in, out int, rng *rand.Rand) (*Linear, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: linear dims must be positive, got %d -> %d", in, out)
+	}
+	w, err := newParam(fmt.Sprintf("linear%dx%d_w", in, out), in, out)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Value.HeInit(in, rng); err != nil {
+		return nil, err
+	}
+	b, err := newParam(fmt.Sprintf("linear%dx%d_b", in, out), out)
+	if err != nil {
+		return nil, err
+	}
+	return &Linear{In: in, Out: out, weight: w, bias: b}, nil
+}
+
+// Forward computes x·W + b. Inputs of higher rank are flattened to
+// (N, In).
+func (l *Linear) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n := x.Shape[0]
+	flat, err := x.Reshape(n, x.NumElems()/n)
+	if err != nil {
+		return nil, err
+	}
+	if flat.Shape[1] != l.In {
+		return nil, fmt.Errorf("nn: linear expects %d features, got %d", l.In, flat.Shape[1])
+	}
+	l.input = flat
+	out, err := tensor.MatMul(flat, l.weight.Value)
+	if err != nil {
+		return nil, fmt.Errorf("nn: linear forward: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.bias.Value.Data[j]
+		}
+	}
+	return out, nil
+}
+
+// Backward accumulates parameter gradients and returns input gradients.
+func (l *Linear) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if l.input == nil {
+		return nil, fmt.Errorf("nn: linear backward before forward")
+	}
+	n := l.input.Shape[0]
+	if len(gradOut.Shape) != 2 || gradOut.Shape[0] != n || gradOut.Shape[1] != l.Out {
+		return nil, fmt.Errorf("nn: linear backward grad shape %v, want [%d %d]", gradOut.Shape, n, l.Out)
+	}
+	// dW += xᵀ·g
+	dw, err := tensor.MatMulTransA(l.input, gradOut)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.weight.Grad.AddScaled(dw, 1); err != nil {
+		return nil, err
+	}
+	// db += column sums of g.
+	for i := 0; i < n; i++ {
+		row := gradOut.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			l.bias.Grad.Data[j] += row[j]
+		}
+	}
+	// dx = g·Wᵀ
+	gradIn, err := tensor.MatMulTransB(gradOut, l.weight.Value)
+	if err != nil {
+		return nil, err
+	}
+	return gradIn, nil
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.weight, l.bias} }

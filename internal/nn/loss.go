@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nbhd/internal/tensor"
+)
+
+// Sigmoid applies the logistic function elementwise into a new tensor.
+func Sigmoid(x *tensor.Tensor) *tensor.Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = sigmoid32(v)
+	}
+	return out
+}
+
+func sigmoid32(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// BCEWithLogits computes the mean binary cross entropy between logits and
+// 0/1 targets with an optional per-element weight (nil means uniform).
+// It returns the scalar loss and the gradient w.r.t. the logits — the
+// numerically stable fused form used for the detector's objectness and
+// class heads.
+func BCEWithLogits(logits, targets, weights *tensor.Tensor) (float64, *tensor.Tensor, error) {
+	if !logits.SameShape(targets) {
+		return 0, nil, fmt.Errorf("nn: bce shape mismatch %v vs %v", logits.Shape, targets.Shape)
+	}
+	if weights != nil && !weights.SameShape(logits) {
+		return 0, nil, fmt.Errorf("nn: bce weight shape %v, want %v", weights.Shape, logits.Shape)
+	}
+	n := float64(logits.NumElems())
+	grad := tensor.MustNew(logits.Shape...)
+	var loss float64
+	for i, z := range logits.Data {
+		t := targets.Data[i]
+		w := float32(1)
+		if weights != nil {
+			w = weights.Data[i]
+		}
+		// loss = max(z,0) - z*t + log(1+exp(-|z|))
+		zf := float64(z)
+		l := math.Max(zf, 0) - zf*float64(t) + math.Log1p(math.Exp(-math.Abs(zf)))
+		loss += float64(w) * l
+		grad.Data[i] = w * (sigmoid32(z) - t) / float32(n)
+	}
+	return loss / n, grad, nil
+}
+
+// MSE computes the mean squared error and its gradient w.r.t. the
+// predictions, with an optional per-element weight (nil means uniform).
+func MSE(pred, target, weights *tensor.Tensor) (float64, *tensor.Tensor, error) {
+	if !pred.SameShape(target) {
+		return 0, nil, fmt.Errorf("nn: mse shape mismatch %v vs %v", pred.Shape, target.Shape)
+	}
+	if weights != nil && !weights.SameShape(pred) {
+		return 0, nil, fmt.Errorf("nn: mse weight shape %v, want %v", weights.Shape, pred.Shape)
+	}
+	n := float64(pred.NumElems())
+	grad := tensor.MustNew(pred.Shape...)
+	var loss float64
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		w := float32(1)
+		if weights != nil {
+			w = weights.Data[i]
+		}
+		loss += float64(w) * float64(d) * float64(d)
+		grad.Data[i] = w * 2 * d / float32(n)
+	}
+	return loss / n, grad, nil
+}

@@ -1,0 +1,645 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nbhd/internal/tensor"
+)
+
+// numericalGrad estimates d(loss)/d(data[i]) by central differences for a
+// scalar-valued function of the network output.
+func numericalGrad(data []float32, i int, eps float32, eval func() float64) float64 {
+	orig := data[i]
+	data[i] = orig + eps
+	lp := eval()
+	data[i] = orig - eps
+	lm := eval()
+	data[i] = orig
+	return (lp - lm) / (2 * float64(eps))
+}
+
+// checkLayerGradients verifies a layer's analytic input and parameter
+// gradients against central differences using an MSE loss to a random
+// target.
+func checkLayerGradients(t *testing.T, layer Layer, input *tensor.Tensor, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	out, err := layer.Forward(input, true)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	target := tensor.MustNew(out.Shape...)
+	target.UniformInit(1, rng)
+
+	eval := func() float64 {
+		o, err := layer.Forward(input, true)
+		if err != nil {
+			t.Fatalf("forward in eval: %v", err)
+		}
+		loss, _, err := MSE(o, target, nil)
+		if err != nil {
+			t.Fatalf("mse: %v", err)
+		}
+		return loss
+	}
+
+	// Analytic pass.
+	out, err = layer.Forward(input, true)
+	if err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	_, lossGrad, err := MSE(out, target, nil)
+	if err != nil {
+		t.Fatalf("mse: %v", err)
+	}
+	for _, p := range layer.Params() {
+		p.Grad.Zero()
+	}
+	gradIn, err := layer.Backward(lossGrad)
+	if err != nil {
+		t.Fatalf("backward: %v", err)
+	}
+
+	const eps = 1e-2
+	const tol = 2e-2
+	compare := func(name string, analytic float64, data []float32, i int) {
+		numeric := numericalGrad(data, i, eps, eval)
+		diff := math.Abs(analytic - numeric)
+		scale := math.Max(math.Abs(analytic)+math.Abs(numeric), 1e-4)
+		if diff/scale > tol && diff > 1e-4 {
+			t.Errorf("%s[%d]: analytic %g vs numeric %g", name, i, analytic, numeric)
+		}
+	}
+	// Sample a handful of input coordinates.
+	for trial := 0; trial < 8; trial++ {
+		i := rng.Intn(len(input.Data))
+		compare("input", float64(gradIn.Data[i]), input.Data, i)
+	}
+	// And a handful of each parameter's coordinates.
+	for _, p := range layer.Params() {
+		for trial := 0; trial < 8; trial++ {
+			i := rng.Intn(len(p.Value.Data))
+			compare(p.Name, float64(p.Grad.Data[i]), p.Value.Data, i)
+		}
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	conv, err := NewConv2D(2, 3, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	input := tensor.MustNew(2, 2, 5, 5)
+	input.UniformInit(1, rng)
+	checkLayerGradients(t, conv, input, 2)
+}
+
+func TestConv2DStridedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	conv, err := NewConv2D(1, 2, 3, 2, 1, rng)
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	input := tensor.MustNew(1, 1, 7, 7)
+	input.UniformInit(1, rng)
+	checkLayerGradients(t, conv, input, 4)
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lin, err := NewLinear(6, 4, rng)
+	if err != nil {
+		t.Fatalf("NewLinear: %v", err)
+	}
+	input := tensor.MustNew(3, 6)
+	input.UniformInit(1, rng)
+	checkLayerGradients(t, lin, input, 6)
+}
+
+func TestLeakyReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	relu, err := NewLeakyReLU(0.1)
+	if err != nil {
+		t.Fatalf("NewLeakyReLU: %v", err)
+	}
+	input := tensor.MustNew(2, 3, 4, 4)
+	input.UniformInit(1, rng)
+	// Nudge values away from the kink at 0 where numerical gradients lie.
+	for i, v := range input.Data {
+		if v > -0.05 && v < 0.05 {
+			input.Data[i] = 0.1
+		}
+	}
+	checkLayerGradients(t, relu, input, 8)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pool, err := NewMaxPool2D(2, 0)
+	if err != nil {
+		t.Fatalf("NewMaxPool2D: %v", err)
+	}
+	input := tensor.MustNew(1, 2, 6, 6)
+	input.UniformInit(1, rng)
+	checkLayerGradients(t, pool, input, 10)
+}
+
+func TestConv2DOutputShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	conv, err := NewConv2D(3, 8, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	x := tensor.MustNew(2, 3, 16, 16)
+	out, err := conv.Forward(x, false)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	want := []int{2, 8, 16, 16}
+	for i, d := range want {
+		if out.Shape[i] != d {
+			t.Fatalf("output shape %v, want %v", out.Shape, want)
+		}
+	}
+	if conv.OutSize(16) != 16 {
+		t.Errorf("OutSize(16) = %d", conv.OutSize(16))
+	}
+}
+
+func TestConv2DValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	if _, err := NewConv2D(0, 4, 3, 1, 1, rng); err == nil {
+		t.Error("zero in-channels accepted")
+	}
+	if _, err := NewConv2D(3, 4, 0, 1, 1, rng); err == nil {
+		t.Error("zero kernel accepted")
+	}
+	if _, err := NewConv2D(3, 4, 3, 0, 1, rng); err == nil {
+		t.Error("zero stride accepted")
+	}
+	conv, err := NewConv2D(3, 4, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatalf("NewConv2D: %v", err)
+	}
+	bad := tensor.MustNew(1, 2, 8, 8) // wrong channel count
+	if _, err := conv.Forward(bad, false); err == nil {
+		t.Error("wrong channel count accepted")
+	}
+	if _, err := conv.Backward(tensor.MustNew(1, 4, 8, 8)); err == nil {
+		t.Error("backward before forward accepted")
+	}
+}
+
+func TestMaxPoolHalvesSize(t *testing.T) {
+	pool, err := NewMaxPool2D(2, 0)
+	if err != nil {
+		t.Fatalf("NewMaxPool2D: %v", err)
+	}
+	x, _ := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out, err := pool.Forward(x, false)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if out.Shape[2] != 2 || out.Shape[3] != 2 {
+		t.Fatalf("pooled shape %v", out.Shape)
+	}
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("pooled[%d] = %f, want %f", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestSequentialForwardBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	conv, err := NewConv2D(1, 4, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relu, err := NewLeakyReLU(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewMaxPool2D(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewSequential(conv, relu, pool)
+	if net.ParamCount() == 0 {
+		t.Error("ParamCount = 0")
+	}
+	x := tensor.MustNew(2, 1, 8, 8)
+	x.UniformInit(1, rng)
+	out, err := net.Forward(x, true)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if out.Shape[1] != 4 || out.Shape[2] != 4 {
+		t.Fatalf("net output shape %v", out.Shape)
+	}
+	grad := tensor.MustNew(out.Shape...)
+	grad.Fill(1)
+	net.ZeroGrads()
+	gin, err := net.Backward(grad)
+	if err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
+	if !gin.SameShape(x) {
+		t.Errorf("input grad shape %v", gin.Shape)
+	}
+	// Parameter gradients populated.
+	var nonzero bool
+	for _, p := range net.Params() {
+		if p.Grad.L2Norm() > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("all parameter gradients are zero")
+	}
+}
+
+func TestBCEWithLogits(t *testing.T) {
+	logits, _ := tensor.FromSlice([]float32{0, 2, -2}, 3)
+	targets, _ := tensor.FromSlice([]float32{0, 1, 0}, 3)
+	loss, grad, err := BCEWithLogits(logits, targets, nil)
+	if err != nil {
+		t.Fatalf("BCE: %v", err)
+	}
+	// Hand-computed: ln2 for z=0,t=0; softplus(-2) for z=2,t=1;
+	// softplus(-2) for z=-2,t=0.
+	want := (math.Log(2) + math.Log1p(math.Exp(-2))*2) / 3
+	if math.Abs(loss-want) > 1e-6 {
+		t.Errorf("loss = %f, want %f", loss, want)
+	}
+	// Gradient: (sigmoid(z)-t)/n.
+	if g := grad.Data[0]; math.Abs(float64(g)-0.5/3) > 1e-6 {
+		t.Errorf("grad[0] = %f", g)
+	}
+	// Mismatched shapes rejected.
+	bad := tensor.MustNew(2)
+	if _, _, err := BCEWithLogits(logits, bad, nil); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	if _, _, err := BCEWithLogits(logits, targets, bad); err == nil {
+		t.Error("weight shape mismatch accepted")
+	}
+}
+
+func TestBCEGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	logits := tensor.MustNew(6)
+	logits.UniformInit(2, rng)
+	targets, _ := tensor.FromSlice([]float32{1, 0, 1, 0, 1, 0}, 6)
+	_, grad, err := BCEWithLogits(logits, targets, nil)
+	if err != nil {
+		t.Fatalf("BCE: %v", err)
+	}
+	for i := range logits.Data {
+		numeric := numericalGrad(logits.Data, i, 1e-3, func() float64 {
+			l, _, err := BCEWithLogits(logits, targets, nil)
+			if err != nil {
+				t.Fatalf("BCE: %v", err)
+			}
+			return l
+		})
+		if math.Abs(numeric-float64(grad.Data[i])) > 1e-3 {
+			t.Errorf("bce grad[%d]: analytic %f vs numeric %f", i, grad.Data[i], numeric)
+		}
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred, _ := tensor.FromSlice([]float32{1, 2}, 2)
+	target, _ := tensor.FromSlice([]float32{0, 4}, 2)
+	loss, grad, err := MSE(pred, target, nil)
+	if err != nil {
+		t.Fatalf("MSE: %v", err)
+	}
+	if math.Abs(loss-(1+4)/2.0) > 1e-6 {
+		t.Errorf("loss = %f", loss)
+	}
+	if math.Abs(float64(grad.Data[0])-1) > 1e-6 || math.Abs(float64(grad.Data[1])+2) > 1e-6 {
+		t.Errorf("grad = %v", grad.Data)
+	}
+	// Weighted: zero weight removes an element's contribution.
+	w, _ := tensor.FromSlice([]float32{1, 0}, 2)
+	loss, grad, err = MSE(pred, target, w)
+	if err != nil {
+		t.Fatalf("MSE: %v", err)
+	}
+	if math.Abs(loss-0.5) > 1e-6 {
+		t.Errorf("weighted loss = %f", loss)
+	}
+	if grad.Data[1] != 0 {
+		t.Errorf("weighted grad[1] = %f", grad.Data[1])
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	x, _ := tensor.FromSlice([]float32{0, 100, -100}, 3)
+	s := Sigmoid(x)
+	if math.Abs(float64(s.Data[0])-0.5) > 1e-6 {
+		t.Errorf("sigmoid(0) = %f", s.Data[0])
+	}
+	if s.Data[1] < 0.999 || s.Data[2] > 0.001 {
+		t.Errorf("sigmoid saturation wrong: %v", s.Data)
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	opt, err := NewSGD(0.1, 0, 0)
+	if err != nil {
+		t.Fatalf("NewSGD: %v", err)
+	}
+	p, err := newParam("w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Value.Fill(1)
+	p.Grad.Fill(2)
+	if err := opt.Step([]*Param{p}); err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if math.Abs(float64(p.Value.Data[0])-0.8) > 1e-6 {
+		t.Errorf("after step = %f, want 0.8", p.Value.Data[0])
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	opt, err := NewSGD(0.1, 0.9, 0)
+	if err != nil {
+		t.Fatalf("NewSGD: %v", err)
+	}
+	p, err := newParam("w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Grad.Fill(1)
+	if err := opt.Step([]*Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	first := p.Value.Data[0]
+	if err := opt.Step([]*Param{p}); err != nil {
+		t.Fatal(err)
+	}
+	second := p.Value.Data[0] - first
+	// Second step moves farther due to momentum: -0.1 then -0.19.
+	if math.Abs(float64(first)+0.1) > 1e-6 {
+		t.Errorf("first step = %f", first)
+	}
+	if math.Abs(float64(second)+0.19) > 1e-6 {
+		t.Errorf("second delta = %f", second)
+	}
+}
+
+func TestSGDValidation(t *testing.T) {
+	if _, err := NewSGD(0, 0, 0); err == nil {
+		t.Error("zero lr accepted")
+	}
+	if _, err := NewSGD(0.1, 1, 0); err == nil {
+		t.Error("momentum 1 accepted")
+	}
+	if _, err := NewSGD(0.1, 0, -1); err == nil {
+		t.Error("negative weight decay accepted")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)^2 with Adam; expect w -> 3.
+	opt, err := NewAdam(0.1, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("NewAdam: %v", err)
+	}
+	p, err := newParam("w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p.Grad.Data[0] = 2 * (p.Value.Data[0] - 3)
+		if err := opt.Step([]*Param{p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(float64(p.Value.Data[0])-3) > 0.05 {
+		t.Errorf("adam converged to %f, want 3", p.Value.Data[0])
+	}
+}
+
+func TestAdamValidation(t *testing.T) {
+	if _, err := NewAdam(0, 0, 0, 0); err == nil {
+		t.Error("zero lr accepted")
+	}
+	if _, err := NewAdam(0.1, -0.5, 0, 0); err == nil {
+		t.Error("negative beta accepted")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p, err := newParam("w", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4 // norm 5
+	norm, err := ClipGradNorm([]*Param{p}, 1)
+	if err != nil {
+		t.Fatalf("ClipGradNorm: %v", err)
+	}
+	if math.Abs(norm-5) > 1e-6 {
+		t.Errorf("pre-clip norm = %f", norm)
+	}
+	if after := p.Grad.L2Norm(); math.Abs(after-1) > 1e-5 {
+		t.Errorf("post-clip norm = %f", after)
+	}
+	// Below threshold: untouched.
+	norm, err = ClipGradNorm([]*Param{p}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Errorf("second norm = %f", norm)
+	}
+	if _, err := ClipGradNorm(nil, 0); err == nil {
+		t.Error("zero max norm accepted")
+	}
+}
+
+func TestTrainTinyNetworkReducesLoss(t *testing.T) {
+	// A 2-layer conv net should fit a fixed random target: loss must
+	// drop substantially over a few hundred steps.
+	rng := rand.New(rand.NewSource(15))
+	conv1, err := NewConv2D(1, 4, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relu, err := NewLeakyReLU(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv2, err := NewConv2D(4, 1, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewSequential(conv1, relu, conv2)
+	opt, err := NewAdam(0.01, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew(1, 1, 8, 8)
+	x.UniformInit(1, rng)
+	target := tensor.MustNew(1, 1, 8, 8)
+	target.UniformInit(0.5, rng)
+
+	var first, last float64
+	for step := 0; step < 200; step++ {
+		out, err := net.Forward(x, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, grad, err := MSE(out, target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		net.ZeroGrads()
+		if _, err := net.Backward(grad); err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Step(net.Params()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last > first*0.2 {
+		t.Errorf("training did not reduce loss: %f -> %f", first, last)
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	if _, err := NewDropout(-0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewDropout(1, 1); err == nil {
+		t.Error("rate 1 accepted")
+	}
+}
+
+func TestDropoutInferencePassThrough(t *testing.T) {
+	d, err := NewDropout(0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew(100)
+	x.Fill(1)
+	out, err := d.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Data {
+		if v != 1 {
+			t.Fatalf("inference dropout changed element %d to %f", i, v)
+		}
+	}
+	// Backward after inference forward is identity.
+	g := tensor.MustNew(100)
+	g.Fill(2)
+	back, err := d.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Data[0] != 2 {
+		t.Error("inference backward not identity")
+	}
+}
+
+func TestDropoutTrainingMasksAndScales(t *testing.T) {
+	d, err := NewDropout(0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew(2000)
+	x.Fill(1)
+	out, err := d.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros, scaled := 0, 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			scaled++
+		default:
+			t.Fatalf("unexpected activation %f", v)
+		}
+	}
+	if zeros < 800 || zeros > 1200 {
+		t.Errorf("zeros = %d of 2000 at rate 0.5", zeros)
+	}
+	// Expected activation preserved: mean stays near 1.
+	mean := float64(scaled) * 2 / 2000
+	if math.Abs(mean-1) > 0.1 {
+		t.Errorf("post-dropout mean = %f", mean)
+	}
+	// Backward zeroes the same coordinates.
+	g := tensor.MustNew(2000)
+	g.Fill(1)
+	back, err := d.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back.Data {
+		if (out.Data[i] == 0) != (back.Data[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+}
+
+func TestDropoutGradCheck(t *testing.T) {
+	// With the mask frozen (same rng state via re-seeding per eval not
+	// possible), validate the chain rule by composing: forward once,
+	// then check that backward equals elementwise mask*scale.
+	d, err := NewDropout(0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew(50)
+	rng := rand.New(rand.NewSource(4))
+	x.UniformInit(1, rng)
+	out, err := d.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tensor.MustNew(50)
+	g.Fill(1)
+	back, err := d.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := float32(1 / 0.7)
+	for i := range out.Data {
+		want := float32(0)
+		if out.Data[i] != 0 || x.Data[i] == 0 {
+			if out.Data[i] != 0 {
+				want = scale
+			}
+		}
+		if math.Abs(float64(back.Data[i]-want)) > 1e-6 {
+			t.Fatalf("grad[%d] = %f, want %f", i, back.Data[i], want)
+		}
+	}
+}

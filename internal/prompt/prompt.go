@@ -1,0 +1,395 @@
+// Package prompt builds and parses the Yes/No prompts of the paper's LLM
+// evaluation: per-indicator questions in four languages (English, Spanish,
+// simplified Chinese, Bengali — §IV-C3 and Appendix B), the parallel and
+// sequential prompting strategies (§IV-C1), and robust parsing of the
+// models' constrained "Yes, No, ..." reply format.
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"nbhd/internal/scene"
+)
+
+// Language enumerates the prompt languages evaluated in Fig. 6.
+type Language int
+
+const (
+	// English is the paper's best-performing prompt language.
+	English Language = iota + 1
+	// Spanish prompts (Appendix B).
+	Spanish
+	// Chinese is simplified Chinese.
+	Chinese
+	// Bengali prompts.
+	Bengali
+)
+
+// Languages returns all evaluated languages in the paper's order.
+func Languages() [4]Language {
+	return [4]Language{English, Spanish, Chinese, Bengali}
+}
+
+// String names the language.
+func (l Language) String() string {
+	switch l {
+	case English:
+		return "English"
+	case Spanish:
+		return "Spanish"
+	case Chinese:
+		return "Chinese"
+	case Bengali:
+		return "Bengali"
+	default:
+		return fmt.Sprintf("Language(%d)", int(l))
+	}
+}
+
+// Mode is the prompting strategy of §IV-C1.
+type Mode int
+
+const (
+	// Parallel asks about all indicators in a single prompt.
+	Parallel Mode = iota + 1
+	// Sequential asks one indicator per prompt, as follow-ups.
+	Sequential
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Parallel:
+		return "parallel"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// questions holds the per-language, per-indicator question text. English
+// strings quote the paper's Table II; the translations follow Appendix B
+// (Spanish) and native-speaker renderings of the same content (Chinese,
+// Bengali).
+var questions = map[Language]map[scene.Indicator]string{
+	English: {
+		scene.MultilaneRoad:  "Is the road shown in the image a multi-lane road (more than one lane per direction)? Respond only with 'Yes' or 'No'.",
+		scene.SingleLaneRoad: "Is the road in the image a single-lane road (one lane per direction)? Respond only with 'Yes' or 'No'.",
+		scene.Sidewalk:       "Is there a sidewalk visible in the image? Respond only with 'Yes' or 'No'.",
+		scene.Streetlight:    "Is there a streetlight visible in the image? Respond only with 'Yes' or 'No'.",
+		scene.Powerline:      "Is there a power line visible in the image? Please respond with 'Yes' or 'No'.",
+		scene.Apartment:      "Is there an apartment visible in the image? Respond only with 'Yes' or 'No'.",
+	},
+	Spanish: {
+		scene.MultilaneRoad:  "¿La carretera que se muestra en la imagen tiene varios carriles (más de un carril por sentido)? Responda solo con 'Sí' o 'No'.",
+		scene.SingleLaneRoad: "¿La carretera que se muestra en la imagen tiene un solo carril (un carril por sentido)? Responda solo con 'Sí' o 'No'.",
+		scene.Sidewalk:       "¿Se ve una acera en la imagen? Responda solo con 'Sí' o 'No'.",
+		scene.Streetlight:    "¿Se ve un alumbrado público en la imagen? Responda solo con 'Sí' o 'No'.",
+		scene.Powerline:      "¿Se ve un cable eléctrico en la imagen? Responda solo con 'Sí' o 'No'.",
+		scene.Apartment:      "¿Se ve un apartamento en la imagen? Responda solo con 'Sí' o 'No'.",
+	},
+	Chinese: {
+		scene.MultilaneRoad:  "图中显示的道路是多车道道路（每个方向多于一条车道）吗？请只回答“是”或“否”。",
+		scene.SingleLaneRoad: "图中的道路是单车道道路（每个方向一条车道）吗？请只回答“是”或“否”。",
+		scene.Sidewalk:       "图中能看到人行道吗？请只回答“是”或“否”。",
+		scene.Streetlight:    "图中能看到路灯吗？请只回答“是”或“否”。",
+		scene.Powerline:      "图中能看到电力线吗？请只回答“是”或“否”。",
+		scene.Apartment:      "图中能看到公寓吗？请只回答“是”或“否”。",
+	},
+	Bengali: {
+		scene.MultilaneRoad:  "ছবিতে দেখানো রাস্তাটি কি বহু-লেনের রাস্তা (প্রতি দিকে একাধিক লেন)? শুধুমাত্র 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।",
+		scene.SingleLaneRoad: "ছবির রাস্তাটি কি এক-লেনের রাস্তা (প্রতি দিকে একটি লেন)? শুধুমাত্র 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।",
+		scene.Sidewalk:       "ছবিতে কি ফুটপাত দেখা যাচ্ছে? শুধুমাত্র 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।",
+		scene.Streetlight:    "ছবিতে কি রাস্তার বাতি দেখা যাচ্ছে? শুধুমাত্র 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।",
+		scene.Powerline:      "ছবিতে কি বিদ্যুতের লাইন দেখা যাচ্ছে? শুধুমাত্র 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।",
+		scene.Apartment:      "ছবিতে কি অ্যাপার্টমেন্ট দেখা যাচ্ছে? শুধুমাত্র 'হ্যাঁ' বা 'না' দিয়ে উত্তর দিন।",
+	},
+}
+
+// connectives joins questions in a parallel prompt ("And is there...").
+var connectives = map[Language]string{
+	English: "And ",
+	Spanish: "Y ",
+	Chinese: "另外，",
+	Bengali: "এবং ",
+}
+
+// yesWords and noWords are the per-language answer tokens, lowercase.
+var yesWords = map[Language][]string{
+	English: {"yes"},
+	Spanish: {"sí", "si"},
+	Chinese: {"是"},
+	Bengali: {"হ্যাঁ"},
+}
+
+var noWords = map[Language][]string{
+	English: {"no"},
+	Spanish: {"no"},
+	Chinese: {"否", "不是"},
+	Bengali: {"না"},
+}
+
+// Question returns the indicator's Yes/No question in the language.
+func Question(ind scene.Indicator, lang Language) (string, error) {
+	byClass, ok := questions[lang]
+	if !ok {
+		return "", fmt.Errorf("prompt: unsupported language %v", lang)
+	}
+	q, ok := byClass[ind]
+	if !ok {
+		return "", fmt.Errorf("prompt: no %v question for indicator %v", lang, ind)
+	}
+	return q, nil
+}
+
+// PaperOrder is the indicator order the paper's prompts use (Table II):
+// multilane, single-lane, sidewalk, streetlight, powerline, apartment.
+func PaperOrder() [scene.NumIndicators]scene.Indicator {
+	return [scene.NumIndicators]scene.Indicator{
+		scene.MultilaneRoad,
+		scene.SingleLaneRoad,
+		scene.Sidewalk,
+		scene.Streetlight,
+		scene.Powerline,
+		scene.Apartment,
+	}
+}
+
+// Parallel builds the single-paragraph parallel prompt over the given
+// indicators: the individual questions concatenated with the language's
+// "and" connective, per §IV-C1.
+func ParallelPrompt(inds []scene.Indicator, lang Language) (string, error) {
+	if len(inds) == 0 {
+		return "", fmt.Errorf("prompt: parallel prompt needs at least one indicator")
+	}
+	var b strings.Builder
+	for i, ind := range inds {
+		q, err := Question(ind, lang)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteString(connectives[lang])
+			// Lower-case the leading letter after "And ", mirroring the
+			// paper's concatenation style (English only; other scripts
+			// have no case).
+			if lang == English {
+				q = strings.ToLower(q[:1]) + q[1:]
+			}
+		}
+		b.WriteString(q)
+		if i < len(inds)-1 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String(), nil
+}
+
+// SequentialPrompts builds one prompt per indicator for the sequential
+// strategy (each sent as a separate follow-up request).
+func SequentialPrompts(inds []scene.Indicator, lang Language) ([]string, error) {
+	if len(inds) == 0 {
+		return nil, fmt.Errorf("prompt: sequential prompts need at least one indicator")
+	}
+	out := make([]string, 0, len(inds))
+	for _, ind := range inds {
+		q, err := Question(ind, lang)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// DetectLanguage identifies the language of a prompt by matching it
+// against the question catalog. Unknown text defaults to English.
+func DetectLanguage(text string) Language {
+	for _, lang := range Languages() {
+		for _, q := range questions[lang] {
+			// Match on a prefix long enough to be unambiguous.
+			probe := q
+			if len(probe) > 24 {
+				probe = probe[:24]
+			}
+			if strings.Contains(text, probe) {
+				return lang
+			}
+		}
+	}
+	return English
+}
+
+// QuestionsIn returns the indicators asked about in a prompt, in the
+// order their questions appear in the text. Matching uses each
+// question's distinctive core — the text left after removing the longest
+// prefix and suffix shared by all of the language's questions — so it is
+// robust to the connectives and case changes parallel prompts introduce.
+func QuestionsIn(text string, lang Language) []scene.Indicator {
+	type hit struct {
+		pos int
+		ind scene.Indicator
+	}
+	var hits []hit
+	lower := strings.ToLower(text)
+	keys := distinctiveKeys(lang)
+	for ind, key := range keys {
+		if pos := strings.Index(lower, key); pos >= 0 {
+			hits = append(hits, hit{pos: pos, ind: ind})
+		}
+	}
+	// Insertion sort by position (at most six entries).
+	for i := 1; i < len(hits); i++ {
+		for j := i; j > 0 && hits[j-1].pos > hits[j].pos; j-- {
+			hits[j-1], hits[j] = hits[j], hits[j-1]
+		}
+	}
+	out := make([]scene.Indicator, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, h.ind)
+	}
+	return out
+}
+
+// distinctiveKeys computes, per indicator, the lowercased question core
+// that no other question of the language contains.
+func distinctiveKeys(lang Language) map[scene.Indicator]string {
+	byClass := questions[lang]
+	lowered := make(map[scene.Indicator]string, len(byClass))
+	all := make([]string, 0, len(byClass))
+	for ind, q := range byClass {
+		l := strings.ToLower(q)
+		lowered[ind] = l
+		all = append(all, l)
+	}
+	prefix := commonPrefixLen(all)
+	suffix := commonSuffixLen(all)
+	keys := make(map[scene.Indicator]string, len(lowered))
+	for ind, l := range lowered {
+		start, end := prefix, len(l)-suffix
+		if end <= start {
+			// Degenerate (identical questions); fall back to the whole
+			// question.
+			start, end = 0, len(l)
+		}
+		for start > 0 && !isRuneStart(l[start]) {
+			start--
+		}
+		for end < len(l) && !isRuneStart(l[end]) {
+			end++
+		}
+		keys[ind] = l[start:end]
+	}
+	return keys
+}
+
+// commonPrefixLen returns the byte length of the longest prefix shared by
+// all strings.
+func commonPrefixLen(ss []string) int {
+	if len(ss) == 0 {
+		return 0
+	}
+	n := len(ss[0])
+	for _, s := range ss[1:] {
+		i := 0
+		for i < n && i < len(s) && s[i] == ss[0][i] {
+			i++
+		}
+		n = i
+	}
+	return n
+}
+
+// commonSuffixLen returns the byte length of the longest suffix shared by
+// all strings.
+func commonSuffixLen(ss []string) int {
+	if len(ss) == 0 {
+		return 0
+	}
+	n := len(ss[0])
+	for _, s := range ss[1:] {
+		i := 0
+		for i < n && i < len(s) && s[len(s)-1-i] == ss[0][len(ss[0])-1-i] {
+			i++
+		}
+		n = i
+	}
+	return n
+}
+
+func isRuneStart(b byte) bool { return b&0xC0 != 0x80 }
+
+// AnswerWord renders a boolean answer in the language's token, matching
+// the format the paper instructs ("Respond only with 'Yes' or 'No'").
+func AnswerWord(v bool, lang Language) string {
+	if v {
+		switch lang {
+		case Spanish:
+			return "Sí"
+		case Chinese:
+			return "是"
+		case Bengali:
+			return "হ্যাঁ"
+		default:
+			return "Yes"
+		}
+	}
+	switch lang {
+	case Chinese:
+		return "否"
+	case Bengali:
+		return "না"
+	default:
+		return "No"
+	}
+}
+
+// FormatAnswers renders a reply in the paper's comma-separated format,
+// e.g. "Yes, No, No, Yes, No, Yes".
+func FormatAnswers(answers []bool, lang Language) string {
+	parts := make([]string, len(answers))
+	for i, a := range answers {
+		parts[i] = AnswerWord(a, lang)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseAnswers extracts n boolean answers from a model reply, accepting
+// any of the language's yes/no tokens separated by commas, newlines, or
+// spaces. It returns an error when the reply does not contain exactly n
+// recognizable answers.
+func ParseAnswers(text string, n int, lang Language) ([]bool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("prompt: answer count must be positive, got %d", n)
+	}
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return r == ',' || r == '\n' || r == ';' || r == ' ' || r == '\t' || r == '.' || r == '，' || r == '。'
+	})
+	var out []bool
+	for _, f := range fields {
+		token := strings.ToLower(strings.Trim(f, "'\"“”‘’!?"))
+		if token == "" {
+			continue
+		}
+		if matchToken(token, yesWords[lang]) {
+			out = append(out, true)
+		} else if matchToken(token, noWords[lang]) {
+			out = append(out, false)
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("prompt: reply %q has %d parseable answers, want %d", text, len(out), n)
+	}
+	return out, nil
+}
+
+func matchToken(token string, words []string) bool {
+	for _, w := range words {
+		if token == w {
+			return true
+		}
+	}
+	return false
+}

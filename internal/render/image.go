@@ -1,0 +1,258 @@
+// Package render rasterizes ground-truth scenes into RGB images — the
+// synthetic stand-in for Google Street View photography. Images are stored
+// channel-major as float32 in [0,1] so the detector's tensor pipeline can
+// consume them directly; conversions to and from the stdlib image types
+// (for PNG transport through the street-view API server) are provided.
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Channels is the number of color channels in a rendered image.
+const Channels = 3
+
+// Image is an RGB raster stored channel-major (CHW): Pix[c*W*H + y*W + x].
+// Values are float32 in [0,1]; operations clamp on write.
+type Image struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewImage allocates a black image of the given size.
+func NewImage(w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("render: image size must be positive, got %dx%d", w, h)
+	}
+	return &Image{W: w, H: h, Pix: make([]float32, Channels*w*h)}, nil
+}
+
+// MustNewImage is NewImage for sizes known to be valid at compile time;
+// it panics on error and exists for tests and internal callers.
+func MustNewImage(w, h int) *Image {
+	img, err := NewImage(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+// At returns channel c at (x,y). Out-of-bounds reads return 0.
+func (m *Image) At(x, y, c int) float32 {
+	if x < 0 || y < 0 || x >= m.W || y >= m.H || c < 0 || c >= Channels {
+		return 0
+	}
+	return m.Pix[c*m.W*m.H+y*m.W+x]
+}
+
+// Set writes channel c at (x,y), clamping the value to [0,1] and ignoring
+// out-of-bounds writes.
+func (m *Image) Set(x, y, c int, v float32) {
+	if x < 0 || y < 0 || x >= m.W || y >= m.H || c < 0 || c >= Channels {
+		return
+	}
+	m.Pix[c*m.W*m.H+y*m.W+x] = clampF32(v)
+}
+
+// SetRGB writes all three channels at (x,y).
+func (m *Image) SetRGB(x, y int, r, g, b float32) {
+	m.Set(x, y, 0, r)
+	m.Set(x, y, 1, g)
+	m.Set(x, y, 2, b)
+}
+
+// BlendRGB mixes the existing pixel with (r,g,b) at alpha in [0,1].
+func (m *Image) BlendRGB(x, y int, r, g, b, alpha float32) {
+	if alpha <= 0 {
+		return
+	}
+	if alpha >= 1 {
+		m.SetRGB(x, y, r, g, b)
+		return
+	}
+	m.Set(x, y, 0, m.At(x, y, 0)*(1-alpha)+r*alpha)
+	m.Set(x, y, 1, m.At(x, y, 1)*(1-alpha)+g*alpha)
+	m.Set(x, y, 2, m.At(x, y, 2)*(1-alpha)+b*alpha)
+}
+
+// Clone deep-copies the image.
+func (m *Image) Clone() *Image {
+	out := &Image{W: m.W, H: m.H, Pix: make([]float32, len(m.Pix))}
+	copy(out.Pix, m.Pix)
+	return out
+}
+
+func clampF32(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ToNRGBA converts to the stdlib image type (for PNG encoding).
+func (m *Image) ToNRGBA() *image.NRGBA {
+	out := image.NewNRGBA(image.Rect(0, 0, m.W, m.H))
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.SetNRGBA(x, y, color.NRGBA{
+				R: uint8(m.At(x, y, 0)*255 + 0.5),
+				G: uint8(m.At(x, y, 1)*255 + 0.5),
+				B: uint8(m.At(x, y, 2)*255 + 0.5),
+				A: 255,
+			})
+		}
+	}
+	return out
+}
+
+// FromImage converts any stdlib image into the float representation.
+func FromImage(src image.Image) *Image {
+	b := src.Bounds()
+	out := MustNewImage(b.Dx(), b.Dy())
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			r, g, bl, _ := src.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			out.SetRGB(x, y, float32(r)/65535, float32(g)/65535, float32(bl)/65535)
+		}
+	}
+	return out
+}
+
+// EncodePNG writes the image as PNG.
+func (m *Image) EncodePNG(w io.Writer) error {
+	if err := png.Encode(w, m.ToNRGBA()); err != nil {
+		return fmt.Errorf("render: encode png: %w", err)
+	}
+	return nil
+}
+
+// DecodePNG reads a PNG into the float representation.
+func DecodePNG(r io.Reader) (*Image, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("render: decode png: %w", err)
+	}
+	return FromImage(img), nil
+}
+
+// Resize scales the image to (w,h) with bilinear interpolation.
+func (m *Image) Resize(w, h int) (*Image, error) {
+	out, err := NewImage(w, h)
+	if err != nil {
+		return nil, err
+	}
+	if m.W == w && m.H == h {
+		copy(out.Pix, m.Pix)
+		return out, nil
+	}
+	xScale := float64(m.W) / float64(w)
+	yScale := float64(m.H) / float64(h)
+	for y := 0; y < h; y++ {
+		srcY := (float64(y)+0.5)*yScale - 0.5
+		y0 := int(math.Floor(srcY))
+		fy := float32(srcY - float64(y0))
+		for x := 0; x < w; x++ {
+			srcX := (float64(x)+0.5)*xScale - 0.5
+			x0 := int(math.Floor(srcX))
+			fx := float32(srcX - float64(x0))
+			for c := 0; c < Channels; c++ {
+				v00 := m.atClamped(x0, y0, c)
+				v10 := m.atClamped(x0+1, y0, c)
+				v01 := m.atClamped(x0, y0+1, c)
+				v11 := m.atClamped(x0+1, y0+1, c)
+				top := v00*(1-fx) + v10*fx
+				bot := v01*(1-fx) + v11*fx
+				out.Set(x, y, c, top*(1-fy)+bot*fy)
+			}
+		}
+	}
+	return out, nil
+}
+
+// atClamped reads with edge-clamped coordinates.
+func (m *Image) atClamped(x, y, c int) float32 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= m.W {
+		x = m.W - 1
+	}
+	if y >= m.H {
+		y = m.H - 1
+	}
+	return m.Pix[c*m.W*m.H+y*m.W+x]
+}
+
+// SignalPower returns the mean squared pixel value, used as the signal
+// term when injecting noise at a target SNR.
+func (m *Image) SignalPower() float64 {
+	var sum float64
+	for _, v := range m.Pix {
+		sum += float64(v) * float64(v)
+	}
+	if len(m.Pix) == 0 {
+		return 0
+	}
+	return sum / float64(len(m.Pix))
+}
+
+// AddGaussianNoiseSNR returns a copy with additive white Gaussian noise at
+// the given signal-to-noise ratio in dB (the paper's Fig. 3 protocol:
+// SNR 5..30 dB). Lower SNR means more noise. Deterministic in the seed.
+func (m *Image) AddGaussianNoiseSNR(snrDB float64, seed int64) *Image {
+	signal := m.SignalPower()
+	noisePower := signal / math.Pow(10, snrDB/10)
+	sigma := float32(math.Sqrt(noisePower))
+	rng := rand.New(rand.NewSource(seed))
+	out := m.Clone()
+	for i, v := range out.Pix {
+		out.Pix[i] = clampF32(v + sigma*float32(rng.NormFloat64()))
+	}
+	return out
+}
+
+// MeanRGB returns the average color inside a normalized-coordinate box.
+// Degenerate boxes return zeros. The VLM simulator's weak perception and
+// the render tests both use this to probe regions.
+func (m *Image) MeanRGB(x0, y0, x1, y1 float64) (r, g, b float32) {
+	px0, py0 := int(x0*float64(m.W)), int(y0*float64(m.H))
+	px1, py1 := int(x1*float64(m.W)), int(y1*float64(m.H))
+	if px1 > m.W {
+		px1 = m.W
+	}
+	if py1 > m.H {
+		py1 = m.H
+	}
+	if px0 < 0 {
+		px0 = 0
+	}
+	if py0 < 0 {
+		py0 = 0
+	}
+	var sr, sg, sb float64
+	n := 0
+	for y := py0; y < py1; y++ {
+		for x := px0; x < px1; x++ {
+			sr += float64(m.At(x, y, 0))
+			sg += float64(m.At(x, y, 1))
+			sb += float64(m.At(x, y, 2))
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return float32(sr / float64(n)), float32(sg / float64(n)), float32(sb / float64(n))
+}

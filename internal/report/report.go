@@ -1,0 +1,183 @@
+// Package report renders evaluation results as terminal-friendly
+// artifacts: ASCII bar charts for the paper's figure-style comparisons,
+// line charts for sweeps, and CSV export for downstream plotting.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders one labeled series as horizontal bars scaled to
+// maxWidth characters. Values must be in [0,1] (fractions/accuracies).
+func BarChart(title string, labels []string, values []float64, maxWidth int) (string, error) {
+	if len(labels) != len(values) {
+		return "", fmt.Errorf("report: %d labels vs %d values", len(labels), len(values))
+	}
+	if len(labels) == 0 {
+		return "", fmt.Errorf("report: empty chart")
+	}
+	if maxWidth < 10 {
+		return "", fmt.Errorf("report: width %d too narrow", maxWidth)
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, l := range labels {
+		v := values[i]
+		if v < 0 || v > 1 {
+			return "", fmt.Errorf("report: value %f for %q outside [0,1]", v, l)
+		}
+		bar := strings.Repeat("█", int(v*float64(maxWidth)+0.5))
+		fmt.Fprintf(&b, "%-*s │%-*s %6.1f%%\n", labelWidth, l, maxWidth, bar, v*100)
+	}
+	return b.String(), nil
+}
+
+// GroupedBarChart renders several series side by side per label (the
+// layout of Figs. 2, 4, and 6). series maps series name to per-label
+// values.
+func GroupedBarChart(title string, labels []string, seriesNames []string, series map[string][]float64, maxWidth int) (string, error) {
+	if len(labels) == 0 || len(seriesNames) == 0 {
+		return "", fmt.Errorf("report: empty grouped chart")
+	}
+	if maxWidth < 10 {
+		return "", fmt.Errorf("report: width %d too narrow", maxWidth)
+	}
+	for _, name := range seriesNames {
+		vals, ok := series[name]
+		if !ok {
+			return "", fmt.Errorf("report: series %q missing", name)
+		}
+		if len(vals) != len(labels) {
+			return "", fmt.Errorf("report: series %q has %d values for %d labels", name, len(vals), len(labels))
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	nameWidth := 0
+	for _, n := range seriesNames {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for li, l := range labels {
+		for si, name := range seriesNames {
+			v := series[name][li]
+			if v < 0 || v > 1 {
+				return "", fmt.Errorf("report: value %f in series %q outside [0,1]", v, name)
+			}
+			prefix := strings.Repeat(" ", labelWidth)
+			if si == 0 {
+				prefix = fmt.Sprintf("%-*s", labelWidth, l)
+			}
+			bar := strings.Repeat("█", int(v*float64(maxWidth)+0.5))
+			fmt.Fprintf(&b, "%s %-*s │%-*s %6.1f%%\n", prefix, nameWidth, name, maxWidth, bar, v*100)
+		}
+	}
+	return b.String(), nil
+}
+
+// LineChart renders an x/y sweep (like Fig. 3's SNR curve) on a
+// character grid of the given size. Y values must be in [0,1].
+func LineChart(title string, xs, ys []float64, width, height int) (string, error) {
+	if len(xs) != len(ys) {
+		return "", fmt.Errorf("report: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return "", fmt.Errorf("report: line chart needs >= 2 points")
+	}
+	if width < 8 || height < 3 {
+		return "", fmt.Errorf("report: grid %dx%d too small", width, height)
+	}
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		if x < xMin {
+			xMin = x
+		}
+		if x > xMax {
+			xMax = x
+		}
+	}
+	if xMax == xMin {
+		return "", fmt.Errorf("report: degenerate x range")
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		if ys[i] < 0 || ys[i] > 1 {
+			return "", fmt.Errorf("report: y value %f outside [0,1]", ys[i])
+		}
+		col := int((xs[i] - xMin) / (xMax - xMin) * float64(width-1))
+		row := height - 1 - int(ys[i]*float64(height-1)+0.5)
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for r, line := range grid {
+		yTick := 1 - float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f │%s\n", yTick, string(line))
+	}
+	fmt.Fprintf(&b, "      └%s\n", strings.Repeat("─", width))
+	fmt.Fprintf(&b, "       %-8.4g%*.4g\n", xMin, width-8, xMax)
+	return b.String(), nil
+}
+
+// CSV renders a header plus rows as RFC-4180-ish CSV (quoting fields that
+// contain commas or quotes).
+func CSV(header []string, rows [][]string) (string, error) {
+	if len(header) == 0 {
+		return "", fmt.Errorf("report: CSV needs a header")
+	}
+	var b strings.Builder
+	writeRow := func(fields []string) error {
+		if len(fields) != len(header) {
+			return fmt.Errorf("report: row has %d fields, header has %d", len(fields), len(header))
+		}
+		for i, f := range fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(f, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(f, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(f)
+			}
+		}
+		b.WriteByte('\n')
+		return nil
+	}
+	if err := writeRow(header); err != nil {
+		return "", err
+	}
+	for _, row := range rows {
+		if err := writeRow(row); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}

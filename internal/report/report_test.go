@@ -1,0 +1,153 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out, err := BarChart("Fig. 5", []string{"yolo", "gemini"}, []float64{0.99, 0.88}, 40)
+	if err != nil {
+		t.Fatalf("BarChart: %v", err)
+	}
+	if !strings.Contains(out, "Fig. 5") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "99.0%") || !strings.Contains(out, "88.0%") {
+		t.Errorf("missing percentages:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("lines = %d", len(lines))
+	}
+	// Longer value means longer bar.
+	yoloBar := strings.Count(lines[1], "█")
+	gemBar := strings.Count(lines[2], "█")
+	if yoloBar <= gemBar {
+		t.Errorf("bar lengths %d vs %d", yoloBar, gemBar)
+	}
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := BarChart("", []string{"a"}, []float64{0.5, 0.6}, 40); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BarChart("", nil, nil, 40); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if _, err := BarChart("", []string{"a"}, []float64{1.5}, 40); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if _, err := BarChart("", []string{"a"}, []float64{0.5}, 4); err == nil {
+		t.Error("narrow width accepted")
+	}
+}
+
+func TestGroupedBarChart(t *testing.T) {
+	labels := []string{"SL", "SW"}
+	names := []string{"parallel", "sequential"}
+	series := map[string][]float64{
+		"parallel":   {0.9, 0.8},
+		"sequential": {0.7, 0.6},
+	}
+	out, err := GroupedBarChart("Fig. 4", labels, names, series, 30)
+	if err != nil {
+		t.Fatalf("GroupedBarChart: %v", err)
+	}
+	for _, want := range []string{"SL", "SW", "parallel", "sequential", "90.0%", "60.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestGroupedBarChartValidation(t *testing.T) {
+	labels := []string{"a"}
+	if _, err := GroupedBarChart("", labels, []string{"x"}, map[string][]float64{}, 30); err == nil {
+		t.Error("missing series accepted")
+	}
+	if _, err := GroupedBarChart("", labels, []string{"x"}, map[string][]float64{"x": {0.1, 0.2}}, 30); err == nil {
+		t.Error("ragged series accepted")
+	}
+	if _, err := GroupedBarChart("", nil, nil, nil, 30); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	xs := []float64{5, 10, 15, 20, 25, 30}
+	ys := []float64{0.2, 0.4, 0.6, 0.8, 0.9, 0.95}
+	out, err := LineChart("Fig. 3", xs, ys, 30, 8)
+	if err != nil {
+		t.Fatalf("LineChart: %v", err)
+	}
+	if strings.Count(out, "*") != len(xs) {
+		t.Errorf("points plotted = %d, want %d:\n%s", strings.Count(out, "*"), len(xs), out)
+	}
+	if !strings.Contains(out, "Fig. 3") {
+		t.Error("missing title")
+	}
+	// Monotone series: the first point (lowest y) sits on a lower row
+	// than the last point.
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for r, line := range lines {
+		if i := strings.IndexByte(line, '*'); i >= 0 {
+			if firstRow == -1 {
+				firstRow = r
+			}
+			lastRow = r
+		}
+	}
+	if firstRow >= lastRow {
+		t.Errorf("monotone series not rendered with vertical spread (rows %d..%d)", firstRow, lastRow)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := LineChart("", []float64{1}, []float64{0.5}, 30, 8); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := LineChart("", []float64{1, 1}, []float64{0.5, 0.6}, 30, 8); err == nil {
+		t.Error("degenerate x range accepted")
+	}
+	if _, err := LineChart("", []float64{1, 2}, []float64{0.5, 1.6}, 30, 8); err == nil {
+		t.Error("out-of-range y accepted")
+	}
+	if _, err := LineChart("", []float64{1, 2}, []float64{0.5, 0.6}, 4, 2); err == nil {
+		t.Error("tiny grid accepted")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out, err := CSV([]string{"model", "accuracy"}, [][]string{
+		{"gemini", "0.88"},
+		{`with "quote"`, "0.5"},
+		{"with,comma", "0.6"},
+	})
+	if err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "model,accuracy" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != `"with ""quote""",0.5` {
+		t.Errorf("quoted row = %q", lines[2])
+	}
+	if lines[3] != `"with,comma",0.6` {
+		t.Errorf("comma row = %q", lines[3])
+	}
+}
+
+func TestCSVValidation(t *testing.T) {
+	if _, err := CSV(nil, nil); err == nil {
+		t.Error("empty header accepted")
+	}
+	if _, err := CSV([]string{"a", "b"}, [][]string{{"x"}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+}

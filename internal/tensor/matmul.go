@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning
+// a new m×n tensor. The inner loops are written j-innermost over B's rows
+// so the compiler keeps accesses sequential, and rows of the output are
+// distributed across GOMAXPROCS workers for large problems.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMul needs 2-D operands, got %v × %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMul inner dims differ: %v × %v", a.Shape, b.Shape)
+	}
+	c := MustNew(m, n)
+	mulRows := func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			ai := a.Data[i*k : (i+1)*k]
+			ci := c.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b.Data[p*n : (p+1)*n]
+				for j := range bp {
+					ci[j] += av * bp[j]
+				}
+			}
+		}
+	}
+	const parallelThreshold = 1 << 16 // flops below this run single-threaded
+	if m*n*k < parallelThreshold {
+		mulRows(0, m)
+		return c, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * chunk
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			mulRows(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+	return c, nil
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is (k×m) and B is (k×n): the
+// backward-pass shape for computing weight gradients without
+// materializing transposes.
+func MatMulTransA(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMulTransA needs 2-D operands, got %v × %v", a.Shape, b.Shape)
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMulTransA outer dims differ: %v × %v", a.Shape, b.Shape)
+	}
+	c := MustNew(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.Data[i*n : (i+1)*n]
+			for j := range bp {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+	return c, nil
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is (m×k) and B is (n×k): the
+// backward-pass shape for propagating gradients to a layer's input.
+func MatMulTransB(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		return nil, fmt.Errorf("tensor: MatMulTransB needs 2-D operands, got %v × %v", a.Shape, b.Shape)
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: MatMulTransB inner dims differ: %v × %v", a.Shape, b.Shape)
+	}
+	c := MustNew(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		ci := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			var sum float32
+			for p := range ai {
+				sum += ai[p] * bj[p]
+			}
+			ci[j] = sum
+		}
+	}
+	return c, nil
+}

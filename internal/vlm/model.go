@@ -1,0 +1,251 @@
+package vlm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"nbhd/internal/prompt"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+)
+
+// Request is one classification query against a simulated model.
+type Request struct {
+	// Image is the street-view frame.
+	Image *render.Image
+	// Indicators are the classes asked about, in question order.
+	Indicators []scene.Indicator
+	// Language of the prompt; zero defaults to English.
+	Language prompt.Language
+	// Mode is parallel or sequential prompting; zero defaults to
+	// parallel.
+	Mode prompt.Mode
+	// Temperature and TopP are the sampling parameters; zeros default to
+	// the provider defaults (1.0 and 0.95).
+	Temperature, TopP float64
+	// Shots is the number of in-context labeled examples included with
+	// the prompt. The paper's §V suggests "few-shot learning could
+	// partially mitigate" the non-English language gap; each shot closes
+	// part of the distance between the language's recall multiplier and
+	// the English baseline.
+	Shots int
+	// Nonce decorrelates repeated identical requests; requests with the
+	// same content and nonce are deterministic.
+	Nonce int64
+}
+
+// withDefaults fills zero fields.
+func (r Request) withDefaults() Request {
+	if r.Language == 0 {
+		r.Language = prompt.English
+	}
+	if r.Mode == 0 {
+		r.Mode = prompt.Parallel
+	}
+	if r.Temperature == 0 {
+		r.Temperature = DefaultTemperature
+	}
+	if r.TopP == 0 {
+		r.TopP = DefaultTopP
+	}
+	return r
+}
+
+// Model is one simulated vision LLM.
+type Model struct {
+	profile Profile
+}
+
+// NewModel builds a simulated model from a profile.
+func NewModel(p Profile) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{profile: p}, nil
+}
+
+// ID returns the model's identifier.
+func (m *Model) ID() ModelID { return m.profile.ID }
+
+// Classify answers the request's Yes/No questions. The pipeline is
+// perception (pixels to evidence) followed by the profile's calibrated
+// stochastic response model; answers are deterministic in the full
+// request content plus nonce.
+func (m *Model) Classify(req Request) ([]bool, error) {
+	req = req.withDefaults()
+	if req.Image == nil {
+		return nil, fmt.Errorf("vlm: %s: request has no image", m.profile.ID)
+	}
+	if len(req.Indicators) == 0 {
+		return nil, fmt.Errorf("vlm: %s: request asks about no indicators", m.profile.ID)
+	}
+	if req.Temperature < 0 || req.Temperature > 2 {
+		return nil, fmt.Errorf("vlm: %s: temperature %f outside [0,2]", m.profile.ID, req.Temperature)
+	}
+	if req.TopP <= 0 || req.TopP > 1 {
+		return nil, fmt.Errorf("vlm: %s: top-p %f outside (0,1]", m.profile.ID, req.TopP)
+	}
+	if req.Shots < 0 || req.Shots > 64 {
+		return nil, fmt.Errorf("vlm: %s: shots %d outside [0,64]", m.profile.ID, req.Shots)
+	}
+	feats, err := Perceive(req.Image)
+	if err != nil {
+		return nil, fmt.Errorf("vlm: %s: %w", m.profile.ID, err)
+	}
+	answers := make([]bool, len(req.Indicators))
+	for i, ind := range req.Indicators {
+		if ind.Index() < 0 {
+			return nil, fmt.Errorf("vlm: %s: unknown indicator %d", m.profile.ID, int(ind))
+		}
+		pYes := m.yesProbability(ind, feats, req)
+		rng := m.answerRNG(req, ind)
+		answers[i] = rng.Float64() < pYes
+	}
+	return answers, nil
+}
+
+// yesProbability computes P(answer yes) for one indicator given the
+// perceived features and request context.
+func (m *Model) yesProbability(ind scene.Indicator, f Features, req Request) float64 {
+	p := &m.profile
+	recallMult := 1.0
+	if req.Mode == prompt.Sequential {
+		recallMult *= p.SequentialRecallMult
+	}
+	if table, ok := p.LangRecallMult[req.Language]; ok {
+		langMult := table[ind.Index()]
+		if req.Shots > 0 {
+			// Few-shot mitigation (§V): each in-context example closes
+			// a fraction of the gap to the English baseline, saturating
+			// around eight shots.
+			closure := float64(req.Shots) / 8.0
+			if closure > 1 {
+				closure = 1
+			}
+			langMult += (1 - langMult) * closure * 0.8
+		}
+		recallMult *= langMult
+	}
+
+	var pYes float64
+	switch ind {
+	case scene.SingleLaneRoad:
+		switch f.Road {
+		case RoadSingle:
+			pYes = p.SRYesGivenSingle * recallMult
+		case RoadMulti:
+			pYes = p.SRYesGivenMulti
+			if f.PartialRoad {
+				pYes *= p.PartialSRBoost
+			}
+		default:
+			pYes = p.SRYesGivenNoRoad
+		}
+	case scene.MultilaneRoad:
+		switch f.Road {
+		case RoadMulti:
+			pYes = p.MRYesGivenMulti * recallMult
+			if f.PartialRoad {
+				pYes *= p.PartialMRPenalty
+			}
+		case RoadSingle:
+			pYes = p.MRYesGivenSingle
+		default:
+			pYes = p.MRYesGivenNoRoad
+		}
+	default:
+		present := false
+		switch ind {
+		case scene.Sidewalk:
+			present = f.Sidewalk
+		case scene.Streetlight:
+			present = f.Streetlight
+		case scene.Powerline:
+			present = f.Powerline
+		case scene.Apartment:
+			present = f.Apartment
+		}
+		if present {
+			pYes = p.Recall[ind.Index()] * recallMult
+		} else {
+			pYes = p.FPRate[ind.Index()]
+		}
+	}
+
+	// Sampling-parameter noise (§IV-C4): deviating from the provider
+	// defaults adds a small symmetric flip probability — enough to move
+	// F1 by a point or two, never more, matching the paper's near-flat
+	// sweeps.
+	flip := samplingFlip(req.Temperature, req.TopP)
+	pYes = pYes*(1-flip) + (1-pYes)*flip
+	return clamp01(pYes)
+}
+
+// samplingFlip converts temperature/top-p deviations from the defaults
+// into a symmetric answer-flip probability. Coefficients are sized to the
+// paper's §IV-C4 sweeps: roughly a 2-3 point F1 move at the extremes,
+// never more.
+func samplingFlip(temperature, topP float64) float64 {
+	flip := 0.010 * math.Abs(temperature-DefaultTemperature) / 0.5
+	if topP < DefaultTopP {
+		flip += 0.05 * (DefaultTopP - topP)
+	}
+	if flip > 0.25 {
+		flip = 0.25
+	}
+	return flip
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// answerRNG derives a deterministic RNG from the full request identity:
+// model, image content, indicator, language, mode, sampling parameters,
+// and nonce.
+func (m *Model) answerRNG(req Request, ind scene.Indicator) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(m.profile.ID))
+	_, _ = h.Write([]byte{byte(ind.Index()), byte(req.Language), byte(req.Mode)})
+	writeF := func(v float64) {
+		bits := math.Float64bits(v)
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	writeF(req.Temperature)
+	writeF(req.TopP)
+	writeF(float64(req.Shots))
+	writeF(float64(req.Nonce))
+	// Hash a sparse sample of the image rather than every pixel.
+	stride := len(req.Image.Pix)/512 + 1
+	for i := 0; i < len(req.Image.Pix); i += stride {
+		writeF(float64(req.Image.Pix[i]))
+	}
+	writeF(float64(req.Image.W))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// AnswerText runs Classify and formats the reply in the paper's
+// comma-separated Yes/No format in the request language.
+func (m *Model) AnswerText(req Request) (string, error) {
+	answers, err := m.Classify(req)
+	if err != nil {
+		return "", err
+	}
+	lang := req.Language
+	if lang == 0 {
+		lang = prompt.English
+	}
+	return prompt.FormatAnswers(answers, lang), nil
+}

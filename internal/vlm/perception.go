@@ -1,0 +1,218 @@
+// Package vlm simulates the four commercial vision LLMs the paper
+// evaluates (ChatGPT 4o mini, Gemini 1.5 Pro, Claude 3.7, Grok 2). Each
+// simulated model is a real image-in/answer-out pipeline: a weak
+// perception module extracts class cues from the pixels, and a per-model
+// behavioral profile — calibrated to the paper's Tables III-VI confusion
+// statistics — converts perceived evidence into stochastic Yes/No
+// answers, including the documented failure modes (single-lane road
+// over-prediction on partial views, §IV-C2), prompt-structure sensitivity
+// (§IV-C1), language sensitivity (§IV-C3), and temperature/top-p effects
+// (§IV-C4).
+package vlm
+
+import (
+	"nbhd/internal/render"
+)
+
+// perceptionSize is the maximum resolution perception operates at. Larger
+// images are downscaled, which is both faster and a source of genuine
+// perceptual weakness on thin structures; smaller images are probed at
+// native resolution.
+const perceptionSize = 128
+
+// RoadKind is the perceived roadway category.
+type RoadKind int
+
+const (
+	// RoadNone means no roadway surface was perceived.
+	RoadNone RoadKind = iota + 1
+	// RoadSingle is a perceived one-lane-per-direction roadway.
+	RoadSingle
+	// RoadMulti is a perceived multilane roadway.
+	RoadMulti
+)
+
+// Features is the perceptual evidence extracted from one image.
+type Features struct {
+	// Road is the perceived roadway kind.
+	Road RoadKind
+	// PartialRoad reports that only a road strip at the frame bottom is
+	// visible (an across-road view) — the situation in which the paper
+	// observes LLMs over-predicting single-lane roads.
+	PartialRoad bool
+	// Sidewalk, Streetlight, Powerline, Apartment are per-class cues.
+	Sidewalk, Streetlight, Powerline, Apartment bool
+}
+
+// Perceive extracts features from an image by color-signature probing on
+// a downscaled view. The synthetic renderer gives each indicator class a
+// distinctive signature, mirroring how the real classes are visually
+// separable in street imagery.
+func Perceive(img *render.Image) (Features, error) {
+	view := img
+	if img.W > perceptionSize || img.H > perceptionSize {
+		var err error
+		view, err = img.Resize(perceptionSize, perceptionSize)
+		if err != nil {
+			return Features{}, err
+		}
+	}
+	var f Features
+	f.Road, f.PartialRoad = perceiveRoad(view)
+	f.Sidewalk = perceiveSidewalk(view)
+	f.Streetlight = perceiveStreetlight(view)
+	f.Powerline = perceivePowerline(view)
+	f.Apartment = perceiveApartment(view)
+	return f, nil
+}
+
+// pixel predicates over the renderer's palette, with generous tolerances
+// so noise and resampling do not break them.
+
+func isAsphalt(r, g, b float32) bool {
+	// Mid gray, channels close together.
+	mean := (r + g + b) / 3
+	if mean < 0.18 || mean > 0.48 {
+		return false
+	}
+	return absf(r-g) < 0.07 && absf(g-b) < 0.07 && absf(r-b) < 0.09
+}
+
+func isWhiteLine(r, g, b float32) bool {
+	return r > 0.86 && g > 0.86 && b > 0.86
+}
+
+func isYellowLine(r, g, b float32) bool {
+	return r > 0.85 && g > 0.65 && b < 0.45
+}
+
+func isSidewalkTone(r, g, b float32) bool {
+	// Light warm gray: r >= g >= b, moderate brightness, low spread.
+	return r > 0.6 && r < 0.85 && g > 0.58 && b > 0.52 && r >= g && g >= b && r-b < 0.15
+}
+
+func isLamp(r, g, b float32) bool {
+	return r > 0.9 && g > 0.78 && b < 0.55 && b > 0.15
+}
+
+func isDark(r, g, b float32) bool {
+	return r < 0.18 && g < 0.18 && b < 0.2
+}
+
+func isBrick(r, g, b float32) bool {
+	return r > 0.4 && r < 0.78 && g > 0.15 && g < 0.4 && b > 0.1 && b < 0.35 && r-g > 0.2
+}
+
+func absf(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// perceiveRoad scans the lower half for asphalt and lane markings.
+func perceiveRoad(img *render.Image) (RoadKind, bool) {
+	w, h := img.W, img.H
+	asphaltRows := 0
+	firstAsphaltRow := h
+	var asphaltCols, whiteLinePx, yellowLinePx int
+	for y := h / 2; y < h; y++ {
+		rowAsphalt := 0
+		for x := 0; x < w; x++ {
+			r, g, b := img.At(x, y, 0), img.At(x, y, 1), img.At(x, y, 2)
+			switch {
+			case isAsphalt(r, g, b):
+				rowAsphalt++
+			case isWhiteLine(r, g, b):
+				whiteLinePx++
+			case isYellowLine(r, g, b):
+				yellowLinePx++
+			}
+		}
+		if rowAsphalt > w/8 {
+			asphaltRows++
+			asphaltCols += rowAsphalt
+			if y < firstAsphaltRow {
+				firstAsphaltRow = y
+			}
+		}
+	}
+	if asphaltRows < h/10 {
+		return RoadNone, false
+	}
+	_ = asphaltCols
+	// Partial view: asphalt only appears in the bottom third.
+	partial := firstAsphaltRow > h*2/3
+	// Lane-marking cue: white dividers mean multilane; a yellow center
+	// line with no white dividers means single-lane. A partial strip with
+	// no legible markings defaults to single-lane — exactly the
+	// ambiguity behind the paper's single-lane over-prediction finding.
+	if whiteLinePx >= 3 && whiteLinePx > yellowLinePx/4 {
+		return RoadMulti, partial
+	}
+	return RoadSingle, partial
+}
+
+// perceiveSidewalk looks for the pavement tone in the lower half,
+// excluding the immediate road margin.
+func perceiveSidewalk(img *render.Image) bool {
+	w, h := img.W, img.H
+	count := 0
+	for y := h / 2; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if isSidewalkTone(img.At(x, y, 0), img.At(x, y, 1), img.At(x, y, 2)) {
+				count++
+			}
+		}
+	}
+	return count > (w*h)/160
+}
+
+// perceiveStreetlight looks for the bright lamp head in the upper third.
+func perceiveStreetlight(img *render.Image) bool {
+	w, h := img.W, img.H
+	count := 0
+	for y := 0; y < h/3; y++ {
+		for x := 0; x < w; x++ {
+			if isLamp(img.At(x, y, 0), img.At(x, y, 1), img.At(x, y, 2)) {
+				count++
+			}
+		}
+	}
+	return count >= 2
+}
+
+// perceivePowerline looks for dark wire pixels spread across many columns
+// of the sky region (a single pole produces a narrow dark cluster; wires
+// span the frame).
+func perceivePowerline(img *render.Image) bool {
+	w, h := img.W, img.H
+	colsWithDark := 0
+	for x := 0; x < w; x++ {
+		dark := false
+		for y := 0; y < int(float64(h)*0.42); y++ {
+			if isDark(img.At(x, y, 0), img.At(x, y, 1), img.At(x, y, 2)) {
+				dark = true
+				break
+			}
+		}
+		if dark {
+			colsWithDark++
+		}
+	}
+	return colsWithDark > w*3/5
+}
+
+// perceiveApartment looks for the brick facade above the horizon.
+func perceiveApartment(img *render.Image) bool {
+	w, h := img.W, img.H
+	count := 0
+	for y := 0; y < int(float64(h)*0.6); y++ {
+		for x := 0; x < w; x++ {
+			if isBrick(img.At(x, y, 0), img.At(x, y, 1), img.At(x, y, 2)) {
+				count++
+			}
+		}
+	}
+	return count > (w*h)/120
+}

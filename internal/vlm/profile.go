@@ -1,0 +1,251 @@
+package vlm
+
+import (
+	"fmt"
+
+	"nbhd/internal/prompt"
+	"nbhd/internal/scene"
+)
+
+// ModelID names a simulated commercial vision LLM.
+type ModelID string
+
+// The four models the paper evaluates (§IV-C).
+const (
+	ChatGPT4oMini ModelID = "chatgpt-4o-mini"
+	Gemini15Pro   ModelID = "gemini-1.5-pro"
+	Claude37      ModelID = "claude-3.7"
+	Grok2         ModelID = "grok-2"
+)
+
+// AllModels returns the four evaluated model IDs in the paper's order.
+func AllModels() [4]ModelID {
+	return [4]ModelID{ChatGPT4oMini, Gemini15Pro, Claude37, Grok2}
+}
+
+// Defaults for sampling parameters (§IV-C4: Gemini's defaults are
+// temperature 1 and top-p 0.95).
+const (
+	DefaultTemperature = 1.0
+	DefaultTopP        = 0.95
+)
+
+// Profile is a model's behavioral calibration. Recall entries are
+// P(answer yes | class perceived present); FPRate entries are
+// P(answer yes | class perceived absent). Road classes use the
+// view-conditioned fields instead of the per-class arrays.
+//
+// The numbers are derived from the paper's Tables III-VI: recall is taken
+// directly from each table, and the false-positive rates are solved from
+// the reported accuracy with the study's class prevalences
+// (spec = (acc - rec·p)/(1-p)).
+type Profile struct {
+	ID ModelID
+
+	// Recall and FPRate for the non-road classes, indexed canonically
+	// (road entries unused).
+	Recall [scene.NumIndicators]float64
+	FPRate [scene.NumIndicators]float64
+
+	// SRYesGivenSingle is P(yes to "single-lane?" | single-lane road
+	// perceived); all models are near-certain here.
+	SRYesGivenSingle float64
+	// SRYesGivenMulti is P(yes to "single-lane?" | multilane road
+	// perceived) — the over-prediction the paper highlights.
+	SRYesGivenMulti float64
+	// SRYesGivenNoRoad is P(yes to "single-lane?" | no road perceived).
+	SRYesGivenNoRoad float64
+	// MRYesGivenMulti is P(yes to "multilane?" | multilane perceived).
+	MRYesGivenMulti float64
+	// MRYesGivenSingle is P(yes to "multilane?" | single-lane perceived).
+	MRYesGivenSingle float64
+	// MRYesGivenNoRoad is P(yes to "multilane?" | no road perceived).
+	MRYesGivenNoRoad float64
+
+	// PartialSRBoost scales SR yes-probability on partial road views
+	// (clamped to 1); PartialMRPenalty scales MR recall there.
+	PartialSRBoost   float64
+	PartialMRPenalty float64
+
+	// SequentialRecallMult scales recall under sequential prompting
+	// (§IV-C1: complex grammatical follow-ups hurt recall).
+	SequentialRecallMult float64
+
+	// LangRecallMult maps a prompt language to per-class recall
+	// multipliers relative to English (§IV-C3). English maps to all 1s.
+	LangRecallMult map[prompt.Language][scene.NumIndicators]float64
+}
+
+// uniformLang builds a language multiplier table with a single value per
+// class.
+func uniformLang(v float64) [scene.NumIndicators]float64 {
+	return [scene.NumIndicators]float64{v, v, v, v, v, v}
+}
+
+// geminiLangTable reproduces Fig. 6: English best (89.7% avg recall),
+// Bengali 86%, Spanish 76% with single-lane collapsing to 18% recall,
+// and Chinese 69% with sidewalk collapsing to ~1%.
+func geminiLangTable() map[prompt.Language][scene.NumIndicators]float64 {
+	return map[prompt.Language][scene.NumIndicators]float64{
+		prompt.English: uniformLang(1),
+		// Canonical order: SL, SW, SR, MR, PL, AP.
+		prompt.Spanish: {0.93, 0.93, 0.20, 0.96, 0.96, 0.96},
+		prompt.Chinese: {0.80, 0.02, 0.84, 0.84, 0.79, 0.85},
+		prompt.Bengali: {0.96, 0.96, 0.96, 0.96, 0.96, 0.96},
+	}
+}
+
+// defaultLangTable is a generic multilingual degradation for models the
+// paper did not sweep across languages.
+func defaultLangTable() map[prompt.Language][scene.NumIndicators]float64 {
+	return map[prompt.Language][scene.NumIndicators]float64{
+		prompt.English: uniformLang(1),
+		prompt.Spanish: uniformLang(0.88),
+		prompt.Chinese: uniformLang(0.80),
+		prompt.Bengali: uniformLang(0.92),
+	}
+}
+
+// BuiltinProfiles returns the calibrated profiles for the paper's four
+// models.
+func BuiltinProfiles() map[ModelID]Profile {
+	idx := func(i scene.Indicator) int { return i.Index() }
+	sl, sw, pl, ap := idx(scene.Streetlight), idx(scene.Sidewalk), idx(scene.Powerline), idx(scene.Apartment)
+
+	profiles := make(map[ModelID]Profile, 4)
+
+	// ChatGPT 4o mini — Table III: high recall, weak precision on
+	// single-lane roads and apartments.
+	p := Profile{
+		ID:                   ChatGPT4oMini,
+		SRYesGivenSingle:     0.98,
+		SRYesGivenMulti:      0.63,
+		SRYesGivenNoRoad:     0.10,
+		MRYesGivenMulti:      0.87,
+		MRYesGivenSingle:     0.02,
+		MRYesGivenNoRoad:     0.01,
+		PartialSRBoost:       1.15,
+		PartialMRPenalty:     0.90,
+		SequentialRecallMult: 0.95, // Fig. 4b: 83% -> 79%
+		LangRecallMult:       defaultLangTable(),
+	}
+	p.Recall[sl], p.FPRate[sl] = 0.84, 0.148
+	p.Recall[sw], p.FPRate[sw] = 0.82, 0.180
+	p.Recall[pl], p.FPRate[pl] = 0.94, 0.100
+	p.Recall[ap], p.FPRate[ap] = 1.00, 0.176
+	profiles[ChatGPT4oMini] = p
+
+	// Gemini 1.5 Pro — Table IV: best single model; weak sidewalk
+	// recall, strong precision elsewhere.
+	p = Profile{
+		ID:                   Gemini15Pro,
+		SRYesGivenSingle:     0.89,
+		SRYesGivenMulti:      0.45,
+		SRYesGivenNoRoad:     0.08,
+		MRYesGivenMulti:      0.98,
+		MRYesGivenSingle:     0.08,
+		MRYesGivenNoRoad:     0.02,
+		PartialSRBoost:       1.20,
+		PartialMRPenalty:     0.95,
+		SequentialRecallMult: 0.87, // Fig. 4a: 92% -> 80%
+		LangRecallMult:       geminiLangTable(),
+	}
+	p.Recall[sl], p.FPRate[sl] = 0.96, 0.088
+	p.Recall[sw], p.FPRate[sw] = 0.59, 0.096
+	p.Recall[pl], p.FPRate[pl] = 0.96, 0.027
+	p.Recall[ap], p.FPRate[ap] = 1.00, 0.066
+	profiles[Gemini15Pro] = p
+
+	// Claude 3.7 — Table VI.
+	p = Profile{
+		ID:                   Claude37,
+		SRYesGivenSingle:     0.99,
+		SRYesGivenMulti:      0.57,
+		SRYesGivenNoRoad:     0.09,
+		MRYesGivenMulti:      0.85,
+		MRYesGivenSingle:     0.01,
+		MRYesGivenNoRoad:     0.01,
+		PartialSRBoost:       1.15,
+		PartialMRPenalty:     0.92,
+		SequentialRecallMult: 0.90,
+		LangRecallMult:       defaultLangTable(),
+	}
+	p.Recall[sl], p.FPRate[sl] = 0.76, 0.062
+	p.Recall[sw], p.FPRate[sw] = 0.80, 0.200
+	p.Recall[pl], p.FPRate[pl] = 0.99, 0.143
+	p.Recall[ap], p.FPRate[ap] = 1.00, 0.077
+	profiles[Claude37] = p
+
+	// Grok 2 — Table V: extreme single-lane over-prediction (accuracy
+	// 0.55) and conservative multilane answers (recall 0.56).
+	p = Profile{
+		ID:                   Grok2,
+		SRYesGivenSingle:     0.99,
+		SRYesGivenMulti:      0.88,
+		SRYesGivenNoRoad:     0.12,
+		MRYesGivenMulti:      0.56,
+		MRYesGivenSingle:     0.01,
+		MRYesGivenNoRoad:     0.01,
+		PartialSRBoost:       1.10,
+		PartialMRPenalty:     0.80,
+		SequentialRecallMult: 0.90,
+		LangRecallMult:       defaultLangTable(),
+	}
+	p.Recall[sl], p.FPRate[sl] = 0.91, 0.090
+	p.Recall[sw], p.FPRate[sw] = 0.92, 0.151
+	p.Recall[pl], p.FPRate[pl] = 1.00, 0.080
+	p.Recall[ap], p.FPRate[ap] = 1.00, 0.044
+	profiles[Grok2] = p
+
+	return profiles
+}
+
+// ProfileFor returns a built-in profile by id.
+func ProfileFor(id ModelID) (Profile, error) {
+	p, ok := BuiltinProfiles()[id]
+	if !ok {
+		return Profile{}, fmt.Errorf("vlm: unknown model %q", id)
+	}
+	return p, nil
+}
+
+// Validate checks that all probabilities are in range.
+func (p *Profile) Validate() error {
+	if p.ID == "" {
+		return fmt.Errorf("vlm: profile has empty id")
+	}
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("vlm: profile %s: %s = %f outside [0,1]", p.ID, name, v)
+		}
+		return nil
+	}
+	for i := 0; i < scene.NumIndicators; i++ {
+		if err := check("recall", p.Recall[i]); err != nil {
+			return err
+		}
+		if err := check("fp rate", p.FPRate[i]); err != nil {
+			return err
+		}
+	}
+	for name, v := range map[string]float64{
+		"SR|single": p.SRYesGivenSingle,
+		"SR|multi":  p.SRYesGivenMulti,
+		"SR|none":   p.SRYesGivenNoRoad,
+		"MR|multi":  p.MRYesGivenMulti,
+		"MR|single": p.MRYesGivenSingle,
+		"MR|none":   p.MRYesGivenNoRoad,
+		"seq mult":  p.SequentialRecallMult,
+	} {
+		if err := check(name, v); err != nil {
+			return err
+		}
+	}
+	if p.PartialSRBoost < 0.5 || p.PartialSRBoost > 2 {
+		return fmt.Errorf("vlm: profile %s: partial SR boost %f outside [0.5,2]", p.ID, p.PartialSRBoost)
+	}
+	if p.PartialMRPenalty < 0 || p.PartialMRPenalty > 1 {
+		return fmt.Errorf("vlm: profile %s: partial MR penalty %f outside [0,1]", p.ID, p.PartialMRPenalty)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package vlm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nbhd/internal/prompt"
+	"nbhd/internal/scene"
+)
+
+// profileJSON is the on-disk schema for custom model profiles, using
+// human-readable indicator and language keys instead of array positions.
+type profileJSON struct {
+	ID                   string             `json:"id"`
+	Recall               map[string]float64 `json:"recall"`
+	FPRate               map[string]float64 `json:"fp_rate"`
+	SRYesGivenSingle     float64            `json:"sr_yes_given_single"`
+	SRYesGivenMulti      float64            `json:"sr_yes_given_multi"`
+	SRYesGivenNoRoad     float64            `json:"sr_yes_given_no_road"`
+	MRYesGivenMulti      float64            `json:"mr_yes_given_multi"`
+	MRYesGivenSingle     float64            `json:"mr_yes_given_single"`
+	MRYesGivenNoRoad     float64            `json:"mr_yes_given_no_road"`
+	PartialSRBoost       float64            `json:"partial_sr_boost"`
+	PartialMRPenalty     float64            `json:"partial_mr_penalty"`
+	SequentialRecallMult float64            `json:"sequential_recall_mult"`
+	// LangRecallMult maps language name to indicator-keyed multipliers.
+	LangRecallMult map[string]map[string]float64 `json:"lang_recall_mult,omitempty"`
+}
+
+// nonRoadIndicators are the classes whose recall/fp_rate entries the JSON
+// schema requires (road classes use the conditional fields).
+func nonRoadIndicators() []scene.Indicator {
+	return []scene.Indicator{scene.Streetlight, scene.Sidewalk, scene.Powerline, scene.Apartment}
+}
+
+// EncodeProfile writes a profile as JSON.
+func EncodeProfile(w io.Writer, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	blob := profileJSON{
+		ID:                   string(p.ID),
+		Recall:               make(map[string]float64, 4),
+		FPRate:               make(map[string]float64, 4),
+		SRYesGivenSingle:     p.SRYesGivenSingle,
+		SRYesGivenMulti:      p.SRYesGivenMulti,
+		SRYesGivenNoRoad:     p.SRYesGivenNoRoad,
+		MRYesGivenMulti:      p.MRYesGivenMulti,
+		MRYesGivenSingle:     p.MRYesGivenSingle,
+		MRYesGivenNoRoad:     p.MRYesGivenNoRoad,
+		PartialSRBoost:       p.PartialSRBoost,
+		PartialMRPenalty:     p.PartialMRPenalty,
+		SequentialRecallMult: p.SequentialRecallMult,
+	}
+	for _, ind := range nonRoadIndicators() {
+		blob.Recall[ind.Abbrev()] = p.Recall[ind.Index()]
+		blob.FPRate[ind.Abbrev()] = p.FPRate[ind.Index()]
+	}
+	if len(p.LangRecallMult) > 0 {
+		blob.LangRecallMult = make(map[string]map[string]float64, len(p.LangRecallMult))
+		for lang, table := range p.LangRecallMult {
+			entry := make(map[string]float64, scene.NumIndicators)
+			for _, ind := range scene.Indicators() {
+				entry[ind.Abbrev()] = table[ind.Index()]
+			}
+			blob.LangRecallMult[lang.String()] = entry
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(blob); err != nil {
+		return fmt.Errorf("vlm: encode profile %s: %w", p.ID, err)
+	}
+	return nil
+}
+
+// DecodeProfile reads a JSON profile and validates it.
+func DecodeProfile(r io.Reader) (Profile, error) {
+	var blob profileJSON
+	if err := json.NewDecoder(r).Decode(&blob); err != nil {
+		return Profile{}, fmt.Errorf("vlm: decode profile: %w", err)
+	}
+	p := Profile{
+		ID:                   ModelID(blob.ID),
+		SRYesGivenSingle:     blob.SRYesGivenSingle,
+		SRYesGivenMulti:      blob.SRYesGivenMulti,
+		SRYesGivenNoRoad:     blob.SRYesGivenNoRoad,
+		MRYesGivenMulti:      blob.MRYesGivenMulti,
+		MRYesGivenSingle:     blob.MRYesGivenSingle,
+		MRYesGivenNoRoad:     blob.MRYesGivenNoRoad,
+		PartialSRBoost:       blob.PartialSRBoost,
+		PartialMRPenalty:     blob.PartialMRPenalty,
+		SequentialRecallMult: blob.SequentialRecallMult,
+	}
+	for _, ind := range nonRoadIndicators() {
+		rec, ok := blob.Recall[ind.Abbrev()]
+		if !ok {
+			return Profile{}, fmt.Errorf("vlm: profile %s missing recall for %s", blob.ID, ind.Abbrev())
+		}
+		fp, ok := blob.FPRate[ind.Abbrev()]
+		if !ok {
+			return Profile{}, fmt.Errorf("vlm: profile %s missing fp_rate for %s", blob.ID, ind.Abbrev())
+		}
+		p.Recall[ind.Index()] = rec
+		p.FPRate[ind.Index()] = fp
+	}
+	if len(blob.LangRecallMult) > 0 {
+		p.LangRecallMult = make(map[prompt.Language][scene.NumIndicators]float64, len(blob.LangRecallMult))
+		for langName, entry := range blob.LangRecallMult {
+			lang, err := parseLanguage(langName)
+			if err != nil {
+				return Profile{}, fmt.Errorf("vlm: profile %s: %w", blob.ID, err)
+			}
+			var table [scene.NumIndicators]float64
+			for _, ind := range scene.Indicators() {
+				mult, ok := entry[ind.Abbrev()]
+				if !ok {
+					return Profile{}, fmt.Errorf("vlm: profile %s: language %s missing %s multiplier", blob.ID, langName, ind.Abbrev())
+				}
+				table[ind.Index()] = mult
+			}
+			p.LangRecallMult[lang] = table
+		}
+	} else {
+		p.LangRecallMult = map[prompt.Language][scene.NumIndicators]float64{
+			prompt.English: uniformLang(1),
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// parseLanguage resolves a language display name.
+func parseLanguage(name string) (prompt.Language, error) {
+	for _, lang := range prompt.Languages() {
+		if lang.String() == name {
+			return lang, nil
+		}
+	}
+	return 0, fmt.Errorf("vlm: unknown language %q", name)
+}

@@ -1,0 +1,115 @@
+package vlm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nbhd/internal/prompt"
+	"nbhd/internal/scene"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	for _, id := range AllModels() {
+		orig, err := ProfileFor(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := EncodeProfile(&buf, orig); err != nil {
+			t.Fatalf("EncodeProfile(%s): %v", id, err)
+		}
+		back, err := DecodeProfile(&buf)
+		if err != nil {
+			t.Fatalf("DecodeProfile(%s): %v", id, err)
+		}
+		if back.ID != orig.ID {
+			t.Errorf("%s: id %q", id, back.ID)
+		}
+		if back.Recall != orig.Recall || back.FPRate != orig.FPRate {
+			t.Errorf("%s: recall/fp tables drifted", id)
+		}
+		if back.SRYesGivenMulti != orig.SRYesGivenMulti || back.MRYesGivenMulti != orig.MRYesGivenMulti {
+			t.Errorf("%s: road conditionals drifted", id)
+		}
+		if len(back.LangRecallMult) != len(orig.LangRecallMult) {
+			t.Errorf("%s: language tables drifted: %d vs %d", id, len(back.LangRecallMult), len(orig.LangRecallMult))
+		}
+		for lang, table := range orig.LangRecallMult {
+			if back.LangRecallMult[lang] != table {
+				t.Errorf("%s: %v multipliers drifted", id, lang)
+			}
+		}
+	}
+}
+
+func TestDecodeProfileCustomModel(t *testing.T) {
+	blob := `{
+		"id": "my-model",
+		"recall": {"SL": 0.9, "SW": 0.8, "PL": 0.95, "AP": 0.99},
+		"fp_rate": {"SL": 0.1, "SW": 0.15, "PL": 0.05, "AP": 0.08},
+		"sr_yes_given_single": 0.95,
+		"sr_yes_given_multi": 0.4,
+		"sr_yes_given_no_road": 0.05,
+		"mr_yes_given_multi": 0.9,
+		"mr_yes_given_single": 0.05,
+		"mr_yes_given_no_road": 0.01,
+		"partial_sr_boost": 1.1,
+		"partial_mr_penalty": 0.9,
+		"sequential_recall_mult": 0.92
+	}`
+	p, err := DecodeProfile(strings.NewReader(blob))
+	if err != nil {
+		t.Fatalf("DecodeProfile: %v", err)
+	}
+	if p.ID != "my-model" {
+		t.Errorf("id = %q", p.ID)
+	}
+	if p.Recall[scene.Streetlight.Index()] != 0.9 {
+		t.Errorf("SL recall = %f", p.Recall[scene.Streetlight.Index()])
+	}
+	// Default language table added.
+	if _, ok := p.LangRecallMult[prompt.English]; !ok {
+		t.Error("default English table missing")
+	}
+	// The decoded profile drives a working model.
+	m, err := NewModel(p)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	if m.ID() != "my-model" {
+		t.Errorf("model id = %q", m.ID())
+	}
+}
+
+func TestDecodeProfileErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		blob string
+	}{
+		{"garbage", "{"},
+		{"missing recall", `{"id":"x","recall":{"SL":0.9},"fp_rate":{"SL":0.1,"SW":0.1,"PL":0.1,"AP":0.1},"sr_yes_given_single":0.9,"sr_yes_given_multi":0.4,"sr_yes_given_no_road":0.05,"mr_yes_given_multi":0.9,"mr_yes_given_single":0.05,"mr_yes_given_no_road":0.01,"partial_sr_boost":1.1,"partial_mr_penalty":0.9,"sequential_recall_mult":0.9}`},
+		{"out of range", `{"id":"x","recall":{"SL":1.9,"SW":0.8,"PL":0.9,"AP":0.9},"fp_rate":{"SL":0.1,"SW":0.1,"PL":0.1,"AP":0.1},"sr_yes_given_single":0.9,"sr_yes_given_multi":0.4,"sr_yes_given_no_road":0.05,"mr_yes_given_multi":0.9,"mr_yes_given_single":0.05,"mr_yes_given_no_road":0.01,"partial_sr_boost":1.1,"partial_mr_penalty":0.9,"sequential_recall_mult":0.9}`},
+		{"empty id", `{"id":"","recall":{"SL":0.9,"SW":0.8,"PL":0.9,"AP":0.9},"fp_rate":{"SL":0.1,"SW":0.1,"PL":0.1,"AP":0.1},"sr_yes_given_single":0.9,"sr_yes_given_multi":0.4,"sr_yes_given_no_road":0.05,"mr_yes_given_multi":0.9,"mr_yes_given_single":0.05,"mr_yes_given_no_road":0.01,"partial_sr_boost":1.1,"partial_mr_penalty":0.9,"sequential_recall_mult":0.9}`},
+		{"bad language", `{"id":"x","recall":{"SL":0.9,"SW":0.8,"PL":0.9,"AP":0.9},"fp_rate":{"SL":0.1,"SW":0.1,"PL":0.1,"AP":0.1},"sr_yes_given_single":0.9,"sr_yes_given_multi":0.4,"sr_yes_given_no_road":0.05,"mr_yes_given_multi":0.9,"mr_yes_given_single":0.05,"mr_yes_given_no_road":0.01,"partial_sr_boost":1.1,"partial_mr_penalty":0.9,"sequential_recall_mult":0.9,"lang_recall_mult":{"Klingon":{"SL":1,"SW":1,"SR":1,"MR":1,"PL":1,"AP":1}}}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeProfile(strings.NewReader(tt.blob)); err == nil {
+				t.Error("invalid profile accepted")
+			}
+		})
+	}
+}
+
+func TestEncodeProfileRejectsInvalid(t *testing.T) {
+	p, err := ProfileFor(Grok2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Recall[0] = -1
+	var buf bytes.Buffer
+	if err := EncodeProfile(&buf, p); err == nil {
+		t.Error("invalid profile encoded")
+	}
+}

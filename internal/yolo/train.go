@@ -1,0 +1,312 @@
+package yolo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/metrics"
+	"nbhd/internal/nn"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+	"nbhd/internal/tensor"
+)
+
+// TrainConfig holds the training hyperparameters. The paper trains
+// YOLOv11-Nano for 20 epochs with batch size 16.
+type TrainConfig struct {
+	// Epochs is the number of passes over the training set; zero
+	// defaults to 20 (the paper's setting).
+	Epochs int
+	// BatchSize defaults to 16 (the paper's setting).
+	BatchSize int
+	// LearningRate defaults to 3e-3 with Adam.
+	LearningRate float64
+	// Seed drives shuffling.
+	Seed int64
+	// ObjWeight scales the objectness loss on cells that contain an
+	// object; defaults to 1.
+	ObjWeight float64
+	// NoObjWeight scales the objectness loss on empty cells; defaults
+	// to 0.5 (the classic YOLO down-weighting).
+	NoObjWeight float64
+	// CoordWeight scales the box regression loss; defaults to 5.
+	CoordWeight float64
+	// Progress, when non-nil, receives per-epoch mean losses.
+	Progress func(epoch int, loss float64)
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 3e-3
+	}
+	if c.ObjWeight == 0 {
+		c.ObjWeight = 1
+	}
+	if c.NoObjWeight == 0 {
+		c.NoObjWeight = 0.5
+	}
+	if c.CoordWeight == 0 {
+		c.CoordWeight = 5
+	}
+	return c
+}
+
+func (c TrainConfig) validate() error {
+	if c.Epochs < 1 {
+		return fmt.Errorf("yolo: epochs must be >= 1, got %d", c.Epochs)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("yolo: batch size must be >= 1, got %d", c.BatchSize)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("yolo: learning rate must be positive, got %f", c.LearningRate)
+	}
+	return nil
+}
+
+// targets encodes ground truth for a batch into the grid layout:
+// per-cell box targets, objectness, class one-hots, plus masks weighting
+// each loss component.
+type targets struct {
+	box, boxMask *tensor.Tensor // (N,4,g,g)
+	obj, objMask *tensor.Tensor // (N,1,g,g) conceptually; stored (N,1*g*g) inside full grid
+	cls, clsMask *tensor.Tensor // (N,C,g,g)
+}
+
+// encodeTargets assigns each ground-truth object to the grid cell holding
+// its center. When two objects share a cell the larger box wins (roads
+// beat incidental overlaps), which matches the one-predictor-per-cell
+// head.
+func (m *Model) encodeTargets(batch []dataset.Example, cfg TrainConfig) targets {
+	g := m.grid
+	n := len(batch)
+	t := targets{
+		box:     tensor.MustNew(n, 4, g, g),
+		boxMask: tensor.MustNew(n, 4, g, g),
+		obj:     tensor.MustNew(n, 1, g, g),
+		objMask: tensor.MustNew(n, 1, g, g),
+		cls:     tensor.MustNew(n, scene.NumIndicators, g, g),
+		clsMask: tensor.MustNew(n, scene.NumIndicators, g, g),
+	}
+	t.objMask.Fill(float32(cfg.NoObjWeight))
+	type claim struct{ area float64 }
+	for s, ex := range batch {
+		claimed := make(map[[2]int]claim)
+		for _, o := range ex.Objects {
+			cx, cy := o.BBox.Center()
+			gx, gy := int(cx*float64(g)), int(cy*float64(g))
+			if gx >= g {
+				gx = g - 1
+			}
+			if gy >= g {
+				gy = g - 1
+			}
+			key := [2]int{gx, gy}
+			if prev, ok := claimed[key]; ok && prev.area >= o.BBox.Area() {
+				continue
+			}
+			claimed[key] = claim{area: o.BBox.Area()}
+			// Box target: center offset within the cell and the square
+			// root of the normalized size (YOLOv1's trick: sqrt evens
+			// out the gradient between large roads and thin poles), all
+			// in (0,1) to match the sigmoid decode.
+			t.box.Set(float32(cx*float64(g)-float64(gx)), s, 0, gy, gx)
+			t.box.Set(float32(cy*float64(g)-float64(gy)), s, 1, gy, gx)
+			t.box.Set(float32(math.Sqrt(o.BBox.Width())), s, 2, gy, gx)
+			t.box.Set(float32(math.Sqrt(o.BBox.Height())), s, 3, gy, gx)
+			// Small objects need tighter localization to clear IoU 0.5,
+			// so their coordinate loss is up-weighted.
+			sizeBoost := float32(2 - o.BBox.Area())
+			for c := 0; c < 4; c++ {
+				t.boxMask.Set(float32(cfg.CoordWeight)*sizeBoost, s, c, gy, gx)
+			}
+			t.obj.Set(1, s, 0, gy, gx)
+			t.objMask.Set(float32(cfg.ObjWeight), s, 0, gy, gx)
+			// Class one-hot, trained only at object cells. Previous
+			// claims' class rows are overwritten by zeroing first.
+			for c := 0; c < scene.NumIndicators; c++ {
+				t.cls.Set(0, s, c, gy, gx)
+				t.clsMask.Set(1, s, c, gy, gx)
+			}
+			t.cls.Set(1, s, o.Indicator.Index(), gy, gx)
+		}
+	}
+	return t
+}
+
+// lossAndGrad computes the composite detection loss for raw head output
+// and returns the gradient tensor matching the output shape.
+func (m *Model) lossAndGrad(out *tensor.Tensor, tg targets) (float64, *tensor.Tensor, error) {
+	n, g := out.Shape[0], m.grid
+	grad := tensor.MustNew(out.Shape...)
+
+	// Slice views by channel group. Output layout: (N, CellOutputs, g, g)
+	// with channels [cx cy w h obj cls...]. We gather each group into
+	// contiguous tensors, run the losses, then scatter gradients back.
+	gather := func(chans []int) *tensor.Tensor {
+		dst := tensor.MustNew(n, len(chans), g, g)
+		for s := 0; s < n; s++ {
+			for i, c := range chans {
+				for y := 0; y < g; y++ {
+					for x := 0; x < g; x++ {
+						dst.Set(out.At(s, c, y, x), s, i, y, x)
+					}
+				}
+			}
+		}
+		return dst
+	}
+	scatter := func(src *tensor.Tensor, chans []int) {
+		for s := 0; s < n; s++ {
+			for i, c := range chans {
+				for y := 0; y < g; y++ {
+					for x := 0; x < g; x++ {
+						grad.Set(src.At(s, i, y, x), s, c, y, x)
+					}
+				}
+			}
+		}
+	}
+
+	boxChans := []int{0, 1, 2, 3}
+	objChans := []int{4}
+	clsChans := make([]int, scene.NumIndicators)
+	for i := range clsChans {
+		clsChans[i] = BoxFields + i
+	}
+
+	// Box loss: MSE between sigmoid(logit) and target, masked to object
+	// cells. Chain rule multiplies by sigmoid'.
+	boxLogits := gather(boxChans)
+	boxPred := nn.Sigmoid(boxLogits)
+	boxLoss, boxGrad, err := nn.MSE(boxPred, tg.box, tg.boxMask)
+	if err != nil {
+		return 0, nil, fmt.Errorf("yolo: box loss: %w", err)
+	}
+	for i, v := range boxPred.Data {
+		boxGrad.Data[i] *= v * (1 - v)
+	}
+	scatter(boxGrad, boxChans)
+
+	// Objectness: BCE with per-cell weights.
+	objLogits := gather(objChans)
+	objLoss, objGrad, err := nn.BCEWithLogits(objLogits, tg.obj, tg.objMask)
+	if err != nil {
+		return 0, nil, fmt.Errorf("yolo: obj loss: %w", err)
+	}
+	scatter(objGrad, objChans)
+
+	// Class: BCE masked to object cells.
+	clsLogits := gather(clsChans)
+	clsLoss, clsGrad, err := nn.BCEWithLogits(clsLogits, tg.cls, tg.clsMask)
+	if err != nil {
+		return 0, nil, fmt.Errorf("yolo: class loss: %w", err)
+	}
+	scatter(clsGrad, clsChans)
+
+	return boxLoss + objLoss + clsLoss, grad, nil
+}
+
+// Train fits the model to the examples. All images must match the
+// model's input size.
+func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if len(examples) == 0 {
+		return fmt.Errorf("yolo: no training examples")
+	}
+	opt, err := nn.NewAdam(cfg.LearningRate, 0, 0, 0)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := make([]dataset.Example, 0, end-start)
+			for _, idx := range order[start:end] {
+				batch = append(batch, examples[idx])
+			}
+			loss, err := m.trainStep(batch, cfg, opt)
+			if err != nil {
+				return fmt.Errorf("yolo: epoch %d: %w", epoch, err)
+			}
+			epochLoss += loss
+			batches++
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, epochLoss/float64(batches))
+		}
+	}
+	return nil
+}
+
+// trainStep runs one optimizer update on a batch.
+func (m *Model) trainStep(batch []dataset.Example, cfg TrainConfig, opt nn.Optimizer) (float64, error) {
+	images := make([]*render.Image, len(batch))
+	for i := range batch {
+		images[i] = batch[i].Image
+	}
+	x, err := m.batchTensor(images)
+	if err != nil {
+		return 0, err
+	}
+	out, err := m.net.Forward(x, true)
+	if err != nil {
+		return 0, err
+	}
+	tg := m.encodeTargets(batch, cfg)
+	loss, grad, err := m.lossAndGrad(out, tg)
+	if err != nil {
+		return 0, err
+	}
+	m.net.ZeroGrads()
+	if _, err := m.net.Backward(grad); err != nil {
+		return 0, err
+	}
+	if _, err := nn.ClipGradNorm(m.net.Params(), 10); err != nil {
+		return 0, err
+	}
+	if err := opt.Step(m.net.Params()); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// Evaluate runs inference over examples and returns per-image evaluation
+// records for the metrics package.
+func (m *Model) Evaluate(examples []dataset.Example, scoreThresh, nmsIoU float64) ([]metrics.ImageEval, error) {
+	out := make([]metrics.ImageEval, 0, len(examples))
+	for i := range examples {
+		dets, err := m.Detect(examples[i].Image, scoreThresh, nmsIoU)
+		if err != nil {
+			return nil, fmt.Errorf("yolo: evaluate %s: %w", examples[i].ID, err)
+		}
+		out = append(out, metrics.ImageEval{
+			ImageID: examples[i].ID,
+			Dets:    dets,
+			Truth:   examples[i].Objects,
+		})
+	}
+	return out, nil
+}

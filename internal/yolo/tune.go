@@ -1,0 +1,107 @@
+package yolo
+
+import (
+	"fmt"
+
+	"nbhd/internal/dataset"
+	"nbhd/internal/metrics"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+)
+
+// Thresholds holds per-class detection score cutoffs.
+type Thresholds [scene.NumIndicators]float64
+
+// DefaultThresholds returns a uniform cutoff.
+func DefaultThresholds(v float64) Thresholds {
+	var t Thresholds
+	for i := range t {
+		t[i] = v
+	}
+	return t
+}
+
+// TuneThresholds selects per-class score thresholds that maximize F1 on
+// a validation set — the role of the paper's 20% validation split in the
+// 70/20/10 protocol. Candidates are swept over a fixed grid; classes with
+// no validation ground truth keep the fallback threshold.
+func (m *Model) TuneThresholds(val []dataset.Example, fallback float64) (Thresholds, error) {
+	if len(val) == 0 {
+		return Thresholds{}, fmt.Errorf("yolo: threshold tuning needs validation examples")
+	}
+	if fallback <= 0 || fallback >= 1 {
+		return Thresholds{}, fmt.Errorf("yolo: fallback threshold %f outside (0,1)", fallback)
+	}
+	// Collect raw detections once at a permissive threshold, then sweep
+	// cutoffs analytically.
+	evals, err := m.Evaluate(val, 0.05, 0.45)
+	if err != nil {
+		return Thresholds{}, err
+	}
+	grid := []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7}
+	best := DefaultThresholds(fallback)
+	for _, class := range scene.Indicators() {
+		idx := class.Index()
+		hasGT := false
+		for _, ev := range evals {
+			for _, o := range ev.Truth {
+				if o.Indicator == class {
+					hasGT = true
+					break
+				}
+			}
+			if hasGT {
+				break
+			}
+		}
+		if !hasGT {
+			continue
+		}
+		bestF1 := -1.0
+		for _, cut := range grid {
+			rep, err := metrics.DetectionReport(evals, cut, metrics.IoU50)
+			if err != nil {
+				return Thresholds{}, err
+			}
+			if f1 := rep.PerClass[idx].F1(); f1 > bestF1 {
+				bestF1 = f1
+				best[idx] = cut
+			}
+		}
+	}
+	return best, nil
+}
+
+// DetectWithThresholds runs inference keeping detections that clear their
+// class-specific cutoff, then applies NMS.
+func (m *Model) DetectWithThresholds(img *render.Image, th Thresholds, nmsIoU float64) ([]Detection, error) {
+	dets, err := m.Detect(img, 0.05, nmsIoU)
+	if err != nil {
+		return nil, err
+	}
+	kept := dets[:0]
+	for _, d := range dets {
+		if idx := d.Class.Index(); idx >= 0 && d.Score >= th[idx] {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// EvaluateWithThresholds scores the detector using tuned per-class
+// cutoffs.
+func (m *Model) EvaluateWithThresholds(examples []dataset.Example, th Thresholds, nmsIoU float64) ([]metrics.ImageEval, error) {
+	out := make([]metrics.ImageEval, 0, len(examples))
+	for i := range examples {
+		dets, err := m.DetectWithThresholds(examples[i].Image, th, nmsIoU)
+		if err != nil {
+			return nil, fmt.Errorf("yolo: evaluate %s: %w", examples[i].ID, err)
+		}
+		out = append(out, metrics.ImageEval{
+			ImageID: examples[i].ID,
+			Dets:    dets,
+			Truth:   examples[i].Objects,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package yolo
+
+import (
+	"testing"
+
+	"nbhd/internal/metrics"
+	"nbhd/internal/scene"
+)
+
+func TestDefaultThresholds(t *testing.T) {
+	th := DefaultThresholds(0.3)
+	for i, v := range th {
+		if v != 0.3 {
+			t.Errorf("threshold[%d] = %f", i, v)
+		}
+	}
+}
+
+func TestTuneThresholdsValidation(t *testing.T) {
+	m, err := New(Config{InputSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TuneThresholds(nil, 0.25); err == nil {
+		t.Error("empty validation set accepted")
+	}
+	ex := tinyExamples(t, 2, 32)
+	if _, err := m.TuneThresholds(ex, 0); err == nil {
+		t.Error("zero fallback accepted")
+	}
+	if _, err := m.TuneThresholds(ex, 1); err == nil {
+		t.Error("unit fallback accepted")
+	}
+}
+
+func TestTuneThresholdsImprovesOrMatchesF1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	m, err := New(Config{InputSize: 32, Channels: [3]int{6, 12, 24}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := tinyExamples(t, 60, 32)
+	train, val, test := ex[:36], ex[36:48], ex[48:]
+	if err := m.Train(train, TrainConfig{Epochs: 20, BatchSize: 16, Seed: 10}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	tuned, err := m.TuneThresholds(val, 0.25)
+	if err != nil {
+		t.Fatalf("TuneThresholds: %v", err)
+	}
+	// Tuned thresholds come from the sweep grid or keep the fallback.
+	for i, v := range tuned {
+		if v <= 0 || v >= 1 {
+			t.Errorf("tuned threshold[%d] = %f", i, v)
+		}
+	}
+	// Compare F1 on the held-out test slice: tuned must not be worse
+	// than the uniform default by more than noise.
+	fixedEvals, err := m.Evaluate(test, 0.25, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tunedEvals, err := m.EvaluateWithThresholds(test, tuned, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedRep, err := metrics.DetectionReport(fixedEvals, 0.0, metrics.IoU50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tunedRep, err := metrics.DetectionReport(tunedEvals, 0.0, metrics.IoU50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, fixedF1, _ := fixedRep.Averages()
+	_, _, tunedF1, _ := tunedRep.Averages()
+	if tunedF1 < fixedF1-0.12 {
+		t.Errorf("tuned F1 %.3f much worse than fixed %.3f", tunedF1, fixedF1)
+	}
+}
+
+func TestDetectWithThresholds(t *testing.T) {
+	m, err := New(Config{InputSize: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := tinyExamples(t, 1, 32)
+	// A prohibitive threshold on every class suppresses all detections.
+	all, err := m.DetectWithThresholds(ex[0].Image, DefaultThresholds(0.999), 0.45)
+	if err != nil {
+		t.Fatalf("DetectWithThresholds: %v", err)
+	}
+	if len(all) != 0 {
+		t.Errorf("prohibitive thresholds kept %d detections", len(all))
+	}
+	// A permissive threshold keeps at least as many as the default path.
+	perm, err := m.DetectWithThresholds(ex[0].Image, DefaultThresholds(0.05), 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Detect(ex[0].Image, 0.05, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != len(base) {
+		t.Errorf("permissive tuned detections %d vs base %d", len(perm), len(base))
+	}
+	// Per-class cutoffs act independently.
+	var th Thresholds
+	for i := range th {
+		th[i] = 0.999
+	}
+	th[scene.MultilaneRoad.Index()] = 0.01
+	only, err := m.DetectWithThresholds(ex[0].Image, th, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range only {
+		if d.Class != scene.MultilaneRoad {
+			t.Errorf("class %v leaked through prohibitive threshold", d.Class)
+		}
+	}
+}
