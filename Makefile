@@ -1,0 +1,39 @@
+# Single source of truth for build/test commands — CI runs these exact
+# targets, so passing `make check` locally means passing CI.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race overhead is ~10-20x; the root integration tests need more than
+# the default 10m package timeout on small runners.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Full paper-benchmark sweep (slow; prints every table and figure).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem
+
+# Short-form benchmark smoke for CI: proves the harness runs and gives a
+# perf trajectory point without the full sweep's cost.
+bench-smoke:
+	$(GO) test -run=NONE -bench=MatMul128 -benchtime=1x
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt-check vet build test

@@ -8,12 +8,19 @@
 //
 //	llmeval -coords 300                 # everything, in-process
 //	llmeval -coords 150 -experiment f4  # just the Fig. 4 comparison
+//	llmeval -workers 8                  # cap the evaluation fan-out
+//
+// All sweeps run on the concurrent evaluation engine: frames render
+// once into a shared cache, classification fans out across workers, and
+// Ctrl-C cancels cleanly mid-sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"nbhd/internal/core"
 	"nbhd/internal/metrics"
@@ -34,38 +41,43 @@ func run() error {
 	coords := flag.Int("coords", 150, "sampled coordinates (4 frames each)")
 	seed := flag.Int64("seed", 1, "seed")
 	experiment := flag.String("experiment", "all", "one of: all, tables, f4, f5, f6, params")
+	workers := flag.Int("workers", 0, "evaluation worker budget (0 = GOMAXPROCS); multi-model sweeps divide it")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	pipe, err := core.NewPipeline(core.Config{Coordinates: *coords, Seed: *seed})
 	if err != nil {
 		return err
 	}
+	ev := pipe.NewEvaluator(core.EvalConfig{Workers: *workers})
 
 	switch *experiment {
 	case "all":
-		if err := tables(pipe); err != nil {
+		if err := tables(ctx, ev); err != nil {
 			return err
 		}
-		if err := fig4(pipe); err != nil {
+		if err := fig4(ctx, ev); err != nil {
 			return err
 		}
-		if err := fig5(pipe); err != nil {
+		if err := fig5(ctx, ev); err != nil {
 			return err
 		}
-		if err := fig6(pipe); err != nil {
+		if err := fig6(ctx, ev); err != nil {
 			return err
 		}
-		return params(pipe)
+		return params(ctx, ev)
 	case "tables":
-		return tables(pipe)
+		return tables(ctx, ev)
 	case "f4":
-		return fig4(pipe)
+		return fig4(ctx, ev)
 	case "f5":
-		return fig5(pipe)
+		return fig5(ctx, ev)
 	case "f6":
-		return fig6(pipe)
+		return fig6(ctx, ev)
 	case "params":
-		return params(pipe)
+		return params(ctx, ev)
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
@@ -82,8 +94,8 @@ func printReport(title string, rep *metrics.ClassReport) {
 	fmt.Printf("%-18s %9.2f %9.2f %9.2f %9.2f\n", "Average", p, r, f1, acc)
 }
 
-func tables(pipe *core.Pipeline) error {
-	reports, err := pipe.EvaluateAllLLMs(core.LLMOptions{})
+func tables(ctx context.Context, ev *core.Evaluator) error {
+	reports, err := ev.EvaluateAllLLMs(ctx, core.LLMOptions{})
 	if err != nil {
 		return err
 	}
@@ -93,7 +105,7 @@ func tables(pipe *core.Pipeline) error {
 	return nil
 }
 
-func evalModel(pipe *core.Pipeline, id vlm.ModelID, opts core.LLMOptions) (*metrics.ClassReport, error) {
+func evalModel(ctx context.Context, ev *core.Evaluator, id vlm.ModelID, opts core.LLMOptions) (*metrics.ClassReport, error) {
 	profile, err := vlm.ProfileFor(id)
 	if err != nil {
 		return nil, err
@@ -102,18 +114,18 @@ func evalModel(pipe *core.Pipeline, id vlm.ModelID, opts core.LLMOptions) (*metr
 	if err != nil {
 		return nil, err
 	}
-	return pipe.EvaluateClassifier(m, opts)
+	return ev.EvaluateClassifier(ctx, m, opts)
 }
 
-func fig4(pipe *core.Pipeline) error {
+func fig4(ctx context.Context, ev *core.Evaluator) error {
 	fmt.Println("\nFig. 4 — recall by prompting strategy:")
 	for _, id := range []vlm.ModelID{vlm.Gemini15Pro, vlm.ChatGPT4oMini} {
 		fmt.Printf("%s:\n%-18s %9s %9s\n", id, "Indicator", "Parallel", "Sequential")
-		par, err := evalModel(pipe, id, core.LLMOptions{Mode: prompt.Parallel})
+		par, err := evalModel(ctx, ev, id, core.LLMOptions{Mode: prompt.Parallel})
 		if err != nil {
 			return err
 		}
-		seq, err := evalModel(pipe, id, core.LLMOptions{Mode: prompt.Sequential})
+		seq, err := evalModel(ctx, ev, id, core.LLMOptions{Mode: prompt.Sequential})
 		if err != nil {
 			return err
 		}
@@ -129,9 +141,9 @@ func fig4(pipe *core.Pipeline) error {
 	return nil
 }
 
-func fig5(pipe *core.Pipeline) error {
+func fig5(ctx context.Context, ev *core.Evaluator) error {
 	fmt.Println("\nFig. 5 — average accuracy per model and majority voting:")
-	reports, err := pipe.EvaluateAllLLMs(core.LLMOptions{})
+	reports, err := ev.EvaluateAllLLMs(ctx, core.LLMOptions{})
 	if err != nil {
 		return err
 	}
@@ -139,7 +151,7 @@ func fig5(pipe *core.Pipeline) error {
 		_, _, _, acc := reports[id].Averages()
 		fmt.Printf("%-18s %6.2f%%\n", id, acc*100)
 	}
-	voting, err := pipe.RunMajorityVoting(reports, core.LLMOptions{})
+	voting, err := ev.RunMajorityVoting(ctx, reports, core.LLMOptions{})
 	if err != nil {
 		return err
 	}
@@ -164,7 +176,7 @@ func fig5(pipe *core.Pipeline) error {
 	return nil
 }
 
-func fig6(pipe *core.Pipeline) error {
+func fig6(ctx context.Context, ev *core.Evaluator) error {
 	fmt.Println("\nFig. 6 — Gemini recall by prompt language:")
 	fmt.Printf("%-18s", "Indicator")
 	for _, lang := range prompt.Languages() {
@@ -173,7 +185,7 @@ func fig6(pipe *core.Pipeline) error {
 	fmt.Println()
 	reports := make(map[prompt.Language]*metrics.ClassReport, 4)
 	for _, lang := range prompt.Languages() {
-		rep, err := evalModel(pipe, vlm.Gemini15Pro, core.LLMOptions{Language: lang})
+		rep, err := evalModel(ctx, ev, vlm.Gemini15Pro, core.LLMOptions{Language: lang})
 		if err != nil {
 			return err
 		}
@@ -217,11 +229,11 @@ func fig6(pipe *core.Pipeline) error {
 	return nil
 }
 
-func params(pipe *core.Pipeline) error {
+func params(ctx context.Context, ev *core.Evaluator) error {
 	fmt.Println("\n§IV-C4 — Gemini F1 by sampling parameters:")
 	fmt.Printf("%-24s %8s\n", "setting", "avg F1")
 	for _, temp := range []float64{0.1, vlm.DefaultTemperature, 1.5} {
-		rep, err := evalModel(pipe, vlm.Gemini15Pro, core.LLMOptions{Temperature: temp})
+		rep, err := evalModel(ctx, ev, vlm.Gemini15Pro, core.LLMOptions{Temperature: temp})
 		if err != nil {
 			return err
 		}
@@ -229,7 +241,7 @@ func params(pipe *core.Pipeline) error {
 		fmt.Printf("temperature %-12.1f %8.2f\n", temp, f1)
 	}
 	for _, topP := range []float64{0.5, 0.75, vlm.DefaultTopP} {
-		rep, err := evalModel(pipe, vlm.Gemini15Pro, core.LLMOptions{TopP: topP})
+		rep, err := evalModel(ctx, ev, vlm.Gemini15Pro, core.LLMOptions{TopP: topP})
 		if err != nil {
 			return err
 		}

@@ -9,4 +9,11 @@
 // benchmark per table and figure in the paper's evaluation section. The
 // library lives under internal/; the runnable tools under cmd/ and
 // examples/.
+//
+// Evaluation sweeps run on the concurrent engine in internal/core: a
+// shared render cache rasterizes each frame once per resolution, a
+// shared perception cache extracts features once per frame, and a
+// worker-pool Evaluator fans classification out across GOMAXPROCS
+// workers with context cancellation — bit-identical to the serial path
+// (see README.md for the API and guarantees).
 package nbhd

@@ -40,7 +40,10 @@ func run() error {
 	for i := range indices {
 		indices[i] = i
 	}
-	examples, err := study.RenderExamples(indices, 96)
+	// Render through the shared cache: the corpus rasterizes once no
+	// matter how many sweeps (or reruns) consume it.
+	cache := dataset.NewRenderCache(study)
+	examples, err := cache.Examples(indices, 96)
 	if err != nil {
 		return err
 	}

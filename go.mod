@@ -1,0 +1,3 @@
+module nbhd
+
+go 1.24

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nbhd/internal/ensemble"
+	"nbhd/internal/metrics"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+// PerceivingClassifier is a Classifier that can consume precomputed
+// perception features, letting the evaluator perceive each frame once
+// and share the evidence across every model and committee that sweeps
+// the corpus.
+type PerceivingClassifier interface {
+	Classifier
+	ClassifyPerceived(req vlm.Request, feats vlm.Features) ([]bool, error)
+}
+
+// The in-repo classifiers all support the fast path.
+var (
+	_ PerceivingClassifier = (*vlm.Model)(nil)
+	_ PerceivingClassifier = (*ensemble.Committee)(nil)
+)
+
+// EvalConfig tunes the concurrent evaluator.
+type EvalConfig struct {
+	// Workers is the classification fan-out per sweep; zero defaults to
+	// GOMAXPROCS.
+	Workers int
+}
+
+// Evaluator sweeps classifiers over the pipeline's corpus concurrently.
+// Frames are classified by a pool of workers feeding per-worker partial
+// ClassReports that are merged at the end; renders and perception
+// features come from caches shared with every other sweep on the same
+// pipeline. Results are bit-identical to the serial path: each model
+// answer is deterministic in (model, frame content, request), renders
+// are deterministic in the scene, and confusion counts are
+// order-independent under merge.
+type Evaluator struct {
+	pipe    *Pipeline
+	workers int
+}
+
+// NewEvaluator builds an evaluator over the pipeline's shared caches.
+func (p *Pipeline) NewEvaluator(cfg EvalConfig) *Evaluator {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Evaluator{pipe: p, workers: w}
+}
+
+// featEntry dedupes concurrent perception of one image.
+type featEntry struct {
+	once  sync.Once
+	feats vlm.Features
+	err   error
+}
+
+// features returns the cached perception features for a rendered frame,
+// perceiving it exactly once across all concurrent sweeps.
+func (p *Pipeline) features(img *render.Image) (vlm.Features, error) {
+	v, _ := p.featCache.LoadOrStore(img, &featEntry{})
+	e := v.(*featEntry)
+	e.once.Do(func() { e.feats, e.err = vlm.Perceive(img) })
+	return e.feats, e.err
+}
+
+// classifyCached runs one classifier on one rendered frame, feeding it
+// cached perception features when the classifier supports them (pc is
+// the classifier's PerceivingClassifier view, nil when it has none).
+// Errors come back fully wrapped with the frame id.
+func (p *Pipeline) classifyCached(c Classifier, pc PerceivingClassifier, id string, req vlm.Request) ([]bool, error) {
+	var answers []bool
+	var err error
+	if pc != nil {
+		var feats vlm.Features
+		feats, err = p.features(req.Image)
+		if err != nil {
+			return nil, fmt.Errorf("core: perceive %s: %w", id, err)
+		}
+		answers, err = pc.ClassifyPerceived(req, feats)
+	} else {
+		answers, err = c.Classify(req)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: classify %s: %w", id, err)
+	}
+	return answers, nil
+}
+
+// EvaluateClassifier sweeps the classifier over the corpus with the
+// evaluator's worker pool. The context cancels the sweep: the first
+// error (or cancellation) stops all workers and is returned.
+func (e *Evaluator) EvaluateClassifier(ctx context.Context, c Classifier, opts LLMOptions) (*metrics.ClassReport, error) {
+	p := e.pipe
+	n := p.Study.Len()
+	if opts.FrameLimit > 0 && opts.FrameLimit < n {
+		n = opts.FrameLimit
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pc, _ := c.(PerceivingClassifier)
+	inds := scene.Indicators()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     atomic.Int64
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	next.Store(-1)
+	partials := make([]metrics.ClassReport, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(part *metrics.ClassReport) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				ex, err := p.cache.Example(i, p.cfg.LLMRenderSize)
+				if err != nil {
+					fail(fmt.Errorf("core: %w", err))
+					return
+				}
+				req := vlm.Request{
+					Image:       ex.Image,
+					Indicators:  inds[:],
+					Language:    opts.Language,
+					Mode:        opts.Mode,
+					Temperature: opts.Temperature,
+					TopP:        opts.TopP,
+				}
+				answers, err := p.classifyCached(c, pc, ex.ID, req)
+				if err != nil {
+					fail(err)
+					return
+				}
+				var pred [scene.NumIndicators]bool
+				copy(pred[:], answers)
+				part.AddVector(pred, p.Study.Frames[i].Scene.Presence())
+			}
+		}(&partials[w])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var report metrics.ClassReport
+	for w := range partials {
+		report.Merge(&partials[w])
+	}
+	return &report, nil
+}
+
+// EvaluateAllLLMs evaluates the four built-in models concurrently over
+// the shared caches and returns their reports keyed by ID. The
+// evaluator's worker budget is divided among the model sweeps so the
+// total fan-out stays at ~e.workers rather than models × workers. The
+// first model error cancels the others.
+func (e *Evaluator) EvaluateAllLLMs(ctx context.Context, opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
+	ids := vlm.AllModels()
+	models := make([]*vlm.Model, len(ids))
+	for i, id := range ids {
+		profile, err := vlm.ProfileFor(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m, err := vlm.NewModel(profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		models[i] = m
+	}
+	perSweep := e.workers / len(ids)
+	if perSweep < 1 {
+		perSweep = 1
+	}
+	sub := &Evaluator{pipe: e.pipe, workers: perSweep}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	reports := make([]*metrics.ClassReport, len(ids))
+	errs := make([]error, len(ids))
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := sub.EvaluateClassifier(ctx, models[i], opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: %s: %w", ids[i], err)
+				cancel()
+				return
+			}
+			reports[i] = rep
+		}(i)
+	}
+	wg.Wait()
+	// Report errors in model order so failures are deterministic even
+	// when several models fail at once — but skip the secondary
+	// cancellations our own cancel() induced in sibling sweeps, so the
+	// root cause isn't masked.
+	var canceled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if canceled == nil {
+				canceled = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if canceled != nil {
+		return nil, canceled
+	}
+	out := make(map[vlm.ModelID]*metrics.ClassReport, len(ids))
+	for i, id := range ids {
+		out[id] = reports[i]
+	}
+	return out, nil
+}
+
+// RunMajorityVoting selects the top three models from the per-model
+// reports and evaluates their committee over the shared caches — no
+// frame is re-rendered or re-perceived after the per-model sweeps.
+func (e *Evaluator) RunMajorityVoting(ctx context.Context, reports map[vlm.ModelID]*metrics.ClassReport, opts LLMOptions) (*VotingResult, error) {
+	top, err := ensemble.SelectTop(reports, 3)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	models := make([]*vlm.Model, 0, len(top))
+	ids := make([]vlm.ModelID, 0, len(top))
+	for _, s := range top {
+		profile, err := vlm.ProfileFor(s.ID)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m, err := vlm.NewModel(profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		models = append(models, m)
+		ids = append(ids, s.ID)
+	}
+	committee, err := ensemble.NewCommittee(models...)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	report, err := e.EvaluateClassifier(ctx, committee, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &VotingResult{Committee: ids, Report: report}, nil
+}

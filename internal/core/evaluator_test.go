@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"nbhd/internal/ensemble"
+	"nbhd/internal/metrics"
+	"nbhd/internal/prompt"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+// evaluateClassifierSerial is the pre-cache, pre-concurrency reference
+// implementation: re-render the corpus, perceive inside Classify, and
+// accumulate one report in frame order. The tests below assert the
+// concurrent path reproduces it bit-for-bit.
+func evaluateClassifierSerial(p *Pipeline, c Classifier, opts LLMOptions) (*metrics.ClassReport, error) {
+	frames := p.Study.Frames
+	if opts.FrameLimit > 0 && opts.FrameLimit < len(frames) {
+		frames = frames[:opts.FrameLimit]
+	}
+	indices := make([]int, len(frames))
+	for i := range indices {
+		indices[i] = i
+	}
+	examples, err := p.Study.RenderExamples(indices, p.cfg.LLMRenderSize)
+	if err != nil {
+		return nil, err
+	}
+	inds := scene.Indicators()
+	var report metrics.ClassReport
+	for i, ex := range examples {
+		answers, err := c.Classify(vlm.Request{
+			Image:       ex.Image,
+			Indicators:  inds[:],
+			Language:    opts.Language,
+			Mode:        opts.Mode,
+			Temperature: opts.Temperature,
+			TopP:        opts.TopP,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var pred [scene.NumIndicators]bool
+		copy(pred[:], answers)
+		report.AddVector(pred, frames[i].Scene.Presence())
+	}
+	return &report, nil
+}
+
+func testModel(t *testing.T, id vlm.ModelID) *vlm.Model {
+	t.Helper()
+	profile, err := vlm.ProfileFor(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vlm.NewModel(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testCommittee(t *testing.T) *ensemble.Committee {
+	t.Helper()
+	committee, err := ensemble.PaperCommittee()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return committee
+}
+
+// TestEvaluatorMatchesSerial asserts the concurrent evaluator reproduces
+// the serial reference bit-for-bit: same classifier, same options, same
+// ClassReport — for single models, the voting committee, non-default
+// request options, and FrameLimit, at several worker widths.
+func TestEvaluatorMatchesSerial(t *testing.T) {
+	p := smallPipeline(t, 12)
+	cases := []struct {
+		name       string
+		classifier Classifier
+		opts       LLMOptions
+	}{
+		{"gemini", testModel(t, vlm.Gemini15Pro), LLMOptions{}},
+		{"chatgpt", testModel(t, vlm.ChatGPT4oMini), LLMOptions{}},
+		{"claude", testModel(t, vlm.Claude37), LLMOptions{}},
+		{"grok", testModel(t, vlm.Grok2), LLMOptions{}},
+		{"committee", testCommittee(t), LLMOptions{}},
+		{"sequential-spanish", testModel(t, vlm.Gemini15Pro), LLMOptions{Language: prompt.Spanish, Mode: prompt.Sequential}},
+		{"sampling", testModel(t, vlm.Grok2), LLMOptions{Temperature: 1.5, TopP: 0.5}},
+		{"frame-limit", testModel(t, vlm.Claude37), LLMOptions{FrameLimit: 7}},
+		{"frame-limit-committee", testCommittee(t), LLMOptions{FrameLimit: 10}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := evaluateClassifierSerial(p, tc.classifier, tc.opts)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			for _, workers := range []int{1, 3, 16} {
+				ev := p.NewEvaluator(EvalConfig{Workers: workers})
+				got, err := ev.EvaluateClassifier(context.Background(), tc.classifier, tc.opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if *got != *want {
+					t.Errorf("workers=%d: report diverges from serial\ngot:  %+v\nwant: %+v", workers, *got, *want)
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluateAllLLMsMatchesSerial asserts the concurrent multi-model
+// sweep matches per-model serial references.
+func TestEvaluateAllLLMsMatchesSerial(t *testing.T) {
+	p := smallPipeline(t, 10)
+	ev := p.NewEvaluator(EvalConfig{Workers: 4})
+	got, err := ev.EvaluateAllLLMs(context.Background(), LLMOptions{})
+	if err != nil {
+		t.Fatalf("EvaluateAllLLMs: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("reports = %d, want 4", len(got))
+	}
+	for _, id := range vlm.AllModels() {
+		want, err := evaluateClassifierSerial(p, testModel(t, id), LLMOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got[id] != *want {
+			t.Errorf("%s: parallel report diverges from serial", id)
+		}
+	}
+}
+
+// TestRunMajorityVotingMatchesSerial asserts the committee sweep built
+// from the concurrent reports matches the serial committee reference.
+func TestRunMajorityVotingMatchesSerial(t *testing.T) {
+	p := smallPipeline(t, 10)
+	ev := p.NewEvaluator(EvalConfig{Workers: 4})
+	reports, err := ev.EvaluateAllLLMs(context.Background(), LLMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	voting, err := ev.RunMajorityVoting(context.Background(), reports, LLMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(voting.Committee) != 3 {
+		t.Fatalf("committee = %v", voting.Committee)
+	}
+	members := make([]*vlm.Model, 0, 3)
+	for _, id := range voting.Committee {
+		members = append(members, testModel(t, id))
+	}
+	committee, err := ensemble.NewCommittee(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := evaluateClassifierSerial(p, committee, LLMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *voting.Report != *want {
+		t.Error("voting report diverges from serial committee reference")
+	}
+}
+
+// TestEvaluatorCancellation asserts a cancelled context aborts the sweep
+// with the context's error.
+func TestEvaluatorCancellation(t *testing.T) {
+	p := smallPipeline(t, 8)
+	ev := p.NewEvaluator(EvalConfig{Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ev.EvaluateClassifier(ctx, testModel(t, vlm.Gemini15Pro), LLMOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	_, err = ev.EvaluateAllLLMs(ctx, LLMOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateAllLLMs err = %v, want context.Canceled", err)
+	}
+}
+
+// failingClassifier errors on every frame, exercising first-error
+// propagation through the worker pool.
+type failingClassifier struct{}
+
+func (failingClassifier) Classify(vlm.Request) ([]bool, error) {
+	return nil, errors.New("boom")
+}
+
+func TestEvaluatorFirstErrorPropagation(t *testing.T) {
+	p := smallPipeline(t, 6)
+	ev := p.NewEvaluator(EvalConfig{Workers: 4})
+	_, err := ev.EvaluateClassifier(context.Background(), failingClassifier{}, LLMOptions{})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("expected classification error, got %v", err)
+	}
+}
+
+// TestEvaluatorSharesRenders asserts the whole evaluation stack — four
+// models, voting committee, repeat sweeps — renders each frame exactly
+// once at the LLM resolution.
+func TestEvaluatorSharesRenders(t *testing.T) {
+	p := smallPipeline(t, 8)
+	ev := p.NewEvaluator(EvalConfig{})
+	reports, err := ev.EvaluateAllLLMs(context.Background(), LLMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.RunMajorityVoting(context.Background(), reports, LLMOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.EvaluateClassifier(context.Background(), testModel(t, vlm.Gemini15Pro), LLMOptions{Language: prompt.Chinese}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.RenderCache().Renders(), int64(p.Study.Len()); got != want {
+		t.Errorf("renders = %d, want %d (one per frame)", got, want)
+	}
+}

@@ -7,7 +7,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"nbhd/internal/analysis"
 	"nbhd/internal/dataset"
@@ -61,12 +63,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Pipeline holds the assembled corpus and its derived artifacts.
+// Pipeline holds the assembled corpus and its derived artifacts, plus
+// the render and perception caches every evaluation sweep shares.
 type Pipeline struct {
 	cfg   Config
 	Study *dataset.Study
 	// Annotations is the LabelMe store built from the corpus.
 	Annotations *labelme.Store
+
+	// cache memoizes rendered frames per resolution; featCache memoizes
+	// perception features per rendered image. Together they guarantee
+	// each frame is rendered and perceived exactly once no matter how
+	// many models, committees, languages, or sweeps run over it.
+	cache     *dataset.RenderCache
+	featCache sync.Map // *render.Image -> *featEntry
 }
 
 // NewPipeline assembles the corpus and annotations.
@@ -90,8 +100,11 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	return &Pipeline{cfg: cfg, Study: study, Annotations: store}, nil
+	return &Pipeline{cfg: cfg, Study: study, Annotations: store, cache: dataset.NewRenderCache(study)}, nil
 }
+
+// RenderCache exposes the pipeline's shared render cache.
+func (p *Pipeline) RenderCache() *dataset.RenderCache { return p.cache }
 
 // BaselineResult is the trained-detector evaluation (Table I).
 type BaselineResult struct {
@@ -207,61 +220,17 @@ type LLMOptions struct {
 }
 
 // EvaluateClassifier sweeps a classifier over the corpus and returns the
-// per-class confusion report (the layout of Tables III-VI).
+// per-class confusion report (the layout of Tables III-VI). It runs the
+// concurrent evaluator at default width over the pipeline's shared
+// caches; results are bit-identical to the historical serial sweep.
 func (p *Pipeline) EvaluateClassifier(c Classifier, opts LLMOptions) (*metrics.ClassReport, error) {
-	frames := p.Study.Frames
-	if opts.FrameLimit > 0 && opts.FrameLimit < len(frames) {
-		frames = frames[:opts.FrameLimit]
-	}
-	indices := make([]int, len(frames))
-	for i := range indices {
-		indices[i] = i
-	}
-	examples, err := p.Study.RenderExamples(indices, p.cfg.LLMRenderSize)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	inds := scene.Indicators()
-	var report metrics.ClassReport
-	for i, ex := range examples {
-		answers, err := c.Classify(vlm.Request{
-			Image:       ex.Image,
-			Indicators:  inds[:],
-			Language:    opts.Language,
-			Mode:        opts.Mode,
-			Temperature: opts.Temperature,
-			TopP:        opts.TopP,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: classify %s: %w", ex.ID, err)
-		}
-		var pred [scene.NumIndicators]bool
-		copy(pred[:], answers)
-		report.AddVector(pred, frames[i].Scene.Presence())
-	}
-	return &report, nil
+	return p.NewEvaluator(EvalConfig{}).EvaluateClassifier(context.Background(), c, opts)
 }
 
-// EvaluateAllLLMs runs the four built-in models and returns their
-// reports keyed by ID.
+// EvaluateAllLLMs runs the four built-in models concurrently and returns
+// their reports keyed by ID.
 func (p *Pipeline) EvaluateAllLLMs(opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
-	out := make(map[vlm.ModelID]*metrics.ClassReport, 4)
-	for _, id := range vlm.AllModels() {
-		profile, err := vlm.ProfileFor(id)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		model, err := vlm.NewModel(profile)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		report, err := p.EvaluateClassifier(model, opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", id, err)
-		}
-		out[id] = report
-	}
-	return out, nil
+	return p.NewEvaluator(EvalConfig{}).EvaluateAllLLMs(context.Background(), opts)
 }
 
 // VotingResult is the majority-voting evaluation (Fig. 5's last bar).
@@ -271,35 +240,9 @@ type VotingResult struct {
 }
 
 // RunMajorityVoting selects the top three models from the per-model
-// reports and evaluates their committee.
+// reports and evaluates their committee over the shared caches.
 func (p *Pipeline) RunMajorityVoting(reports map[vlm.ModelID]*metrics.ClassReport, opts LLMOptions) (*VotingResult, error) {
-	top, err := ensemble.SelectTop(reports, 3)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	models := make([]*vlm.Model, 0, len(top))
-	ids := make([]vlm.ModelID, 0, len(top))
-	for _, s := range top {
-		profile, err := vlm.ProfileFor(s.ID)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		m, err := vlm.NewModel(profile)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		models = append(models, m)
-		ids = append(ids, s.ID)
-	}
-	committee, err := ensemble.NewCommittee(models...)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	report, err := p.EvaluateClassifier(committee, opts)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	return &VotingResult{Committee: ids, Report: report}, nil
+	return p.NewEvaluator(EvalConfig{}).RunMajorityVoting(context.Background(), reports, opts)
 }
 
 // NeighborhoodResult is the downstream analysis output.
@@ -318,19 +261,21 @@ func (p *Pipeline) AnalyzeNeighborhood(c Classifier, tractCellFeet float64) (*Ne
 	for i := range indices {
 		indices[i] = i
 	}
-	examples, err := p.Study.RenderExamples(indices, p.cfg.LLMRenderSize)
+	examples, err := p.cache.Examples(indices, p.cfg.LLMRenderSize)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	pc, _ := c.(PerceivingClassifier)
 	inds := scene.Indicators()
 	var locations []analysis.LocationProfile
 	// Frames come in coordinate groups of four headings.
 	for start := 0; start+3 < len(examples); start += 4 {
 		perHeading := make([][scene.NumIndicators]bool, 0, 4)
 		for k := 0; k < 4; k++ {
-			answers, err := c.Classify(vlm.Request{Image: examples[start+k].Image, Indicators: inds[:]})
+			req := vlm.Request{Image: examples[start+k].Image, Indicators: inds[:]}
+			answers, err := p.classifyCached(c, pc, examples[start+k].ID, req)
 			if err != nil {
-				return nil, fmt.Errorf("core: classify %s: %w", examples[start+k].ID, err)
+				return nil, err
 			}
 			var v [scene.NumIndicators]bool
 			copy(v[:], answers)

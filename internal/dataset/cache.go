@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+)
+
+// RenderCache memoizes rendered examples per (frame index, size) for one
+// study. The evaluation sweeps render the same corpus once per
+// classifier, language, and sampling setting; the cache collapses all of
+// that to exactly one render per frame per resolution, including under
+// concurrent access (a per-slot sync.Once dedupes simultaneous misses).
+//
+// Returned examples alias the cached Image (callers must treat the
+// pixels as read-only) but carry their own copy of the Objects slice,
+// matching Study.RenderExamples' habit of handing each caller a
+// mutation-safe ground-truth list. Render is deterministic in the
+// scene, so a cached example is bit-identical to a fresh
+// Study.RenderExamples call.
+type RenderCache struct {
+	study *Study
+
+	mu     sync.Mutex
+	bySize map[int][]*renderSlot
+
+	renders atomic.Int64
+}
+
+type renderSlot struct {
+	once sync.Once
+	ex   *Example
+	err  error
+}
+
+// NewRenderCache builds an empty cache over the study.
+func NewRenderCache(s *Study) *RenderCache {
+	return &RenderCache{study: s, bySize: make(map[int][]*renderSlot)}
+}
+
+// Study returns the corpus the cache renders from.
+func (c *RenderCache) Study() *Study { return c.study }
+
+// Renders reports how many render.Render calls the cache has issued —
+// the denominator for cache-effectiveness assertions.
+func (c *RenderCache) Renders() int64 { return c.renders.Load() }
+
+func (c *RenderCache) slot(idx, size int) (*renderSlot, error) {
+	if idx < 0 || idx >= len(c.study.Frames) {
+		return nil, fmt.Errorf("dataset: frame index %d out of range [0,%d)", idx, len(c.study.Frames))
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("dataset: render size must be positive, got %d", size)
+	}
+	c.mu.Lock()
+	slots := c.bySize[size]
+	if slots == nil {
+		slots = make([]*renderSlot, len(c.study.Frames))
+		c.bySize[size] = slots
+	}
+	if slots[idx] == nil {
+		slots[idx] = &renderSlot{}
+	}
+	s := slots[idx]
+	c.mu.Unlock()
+	return s, nil
+}
+
+// Example returns the cached render of one frame at size×size pixels,
+// rendering it on first use. Concurrent calls for the same (frame, size)
+// render exactly once; the loser blocks until the winner finishes.
+func (c *RenderCache) Example(idx, size int) (Example, error) {
+	s, err := c.slot(idx, size)
+	if err != nil {
+		return Example{}, err
+	}
+	s.once.Do(func() {
+		fr := c.study.Frames[idx]
+		img, err := render.Render(fr.Scene, render.Config{Width: size, Height: size})
+		if err != nil {
+			s.err = fmt.Errorf("dataset: render %s: %w", fr.Scene.ID, err)
+			return
+		}
+		c.renders.Add(1)
+		s.ex = &Example{ID: fr.Scene.ID, Image: img, Objects: fr.Scene.Objects}
+	})
+	if s.err != nil {
+		return Example{}, s.err
+	}
+	// Fresh Objects copy per caller; the Image is shared.
+	objs := make([]scene.Object, len(s.ex.Objects))
+	copy(objs, s.ex.Objects)
+	return Example{ID: s.ex.ID, Image: s.ex.Image, Objects: objs}, nil
+}
+
+// Examples returns cached renders for the given frame indices, in order —
+// the drop-in counterpart of Study.RenderExamples.
+func (c *RenderCache) Examples(indices []int, size int) ([]Example, error) {
+	out := make([]Example, 0, len(indices))
+	for _, idx := range indices {
+		ex, err := c.Example(idx, size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}

@@ -174,6 +174,22 @@ func (c *Committee) Classify(req vlm.Request) ([]bool, error) {
 	return Vote(all)
 }
 
+// ClassifyPerceived is Classify with precomputed perception features:
+// every member consumes the same evidence, so an n-member committee
+// perceives the frame zero times instead of n. Votes are bit-identical
+// to Classify since members share the perception pipeline.
+func (c *Committee) ClassifyPerceived(req vlm.Request, feats vlm.Features) ([]bool, error) {
+	all := make([][]bool, 0, len(c.models))
+	for _, m := range c.models {
+		answers, err := m.ClassifyPerceived(req, feats)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: member %s: %w", m.ID(), err)
+		}
+		all = append(all, answers)
+	}
+	return Vote(all)
+}
+
 // PaperCommittee builds the paper's top-three committee: Gemini 1.5 Pro,
 // Claude 3.7, and Grok 2 (§IV-C2).
 func PaperCommittee() (*Committee, error) {

@@ -102,6 +102,19 @@ func (r *ClassReport) AddVector(pred, truth [scene.NumIndicators]bool) {
 	}
 }
 
+// Merge adds another report's confusions into this one. Because the
+// cells are plain counts, merging per-worker partial reports in any
+// order yields the same totals as serial accumulation — the property
+// the concurrent evaluator relies on.
+func (r *ClassReport) Merge(o *ClassReport) {
+	if o == nil {
+		return
+	}
+	for i := 0; i < scene.NumIndicators; i++ {
+		r.PerClass[i].Merge(o.PerClass[i])
+	}
+}
+
 // Of returns the confusion for one indicator.
 func (r *ClassReport) Of(ind scene.Indicator) Confusion {
 	idx := ind.Index()

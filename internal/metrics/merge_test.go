@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"nbhd/internal/scene"
+)
+
+// TestClassReportMerge asserts merging per-worker partial reports equals
+// serial accumulation regardless of how the pairs are partitioned or the
+// order partials are merged.
+func TestClassReportMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const pairs = 500
+	preds := make([][scene.NumIndicators]bool, pairs)
+	truths := make([][scene.NumIndicators]bool, pairs)
+	for i := range preds {
+		for k := 0; k < scene.NumIndicators; k++ {
+			preds[i][k] = rng.Intn(2) == 0
+			truths[i][k] = rng.Intn(2) == 0
+		}
+	}
+
+	var serial ClassReport
+	for i := range preds {
+		serial.AddVector(preds[i], truths[i])
+	}
+
+	for _, workers := range []int{1, 2, 3, 7} {
+		partials := make([]ClassReport, workers)
+		for i := range preds {
+			partials[i%workers].AddVector(preds[i], truths[i])
+		}
+		// Merge in reverse order to confirm order-independence.
+		var merged ClassReport
+		for w := workers - 1; w >= 0; w-- {
+			merged.Merge(&partials[w])
+		}
+		if merged != serial {
+			t.Errorf("workers=%d: merged report %+v != serial %+v", workers, merged, serial)
+		}
+	}
+}
+
+func TestClassReportMergeNilAndEmpty(t *testing.T) {
+	var r ClassReport
+	r.AddVector([scene.NumIndicators]bool{true}, [scene.NumIndicators]bool{true})
+	want := r
+	r.Merge(nil)
+	if r != want {
+		t.Error("Merge(nil) mutated the report")
+	}
+	r.Merge(&ClassReport{})
+	if r != want {
+		t.Error("merging an empty report mutated the report")
+	}
+	var empty ClassReport
+	empty.Merge(&want)
+	if empty != want {
+		t.Error("merging into an empty report did not copy the counts")
+	}
+}

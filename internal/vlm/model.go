@@ -72,28 +72,54 @@ func (m *Model) ID() ModelID { return m.profile.ID }
 // Classify answers the request's Yes/No questions. The pipeline is
 // perception (pixels to evidence) followed by the profile's calibrated
 // stochastic response model; answers are deterministic in the full
-// request content plus nonce.
+// request content plus nonce — there is no shared RNG stream, so
+// concurrent Classify calls on the same model are safe and
+// order-independent.
 func (m *Model) Classify(req Request) ([]bool, error) {
 	req = req.withDefaults()
-	if req.Image == nil {
-		return nil, fmt.Errorf("vlm: %s: request has no image", m.profile.ID)
-	}
-	if len(req.Indicators) == 0 {
-		return nil, fmt.Errorf("vlm: %s: request asks about no indicators", m.profile.ID)
-	}
-	if req.Temperature < 0 || req.Temperature > 2 {
-		return nil, fmt.Errorf("vlm: %s: temperature %f outside [0,2]", m.profile.ID, req.Temperature)
-	}
-	if req.TopP <= 0 || req.TopP > 1 {
-		return nil, fmt.Errorf("vlm: %s: top-p %f outside (0,1]", m.profile.ID, req.TopP)
-	}
-	if req.Shots < 0 || req.Shots > 64 {
-		return nil, fmt.Errorf("vlm: %s: shots %d outside [0,64]", m.profile.ID, req.Shots)
+	if err := m.validate(req); err != nil {
+		return nil, err
 	}
 	feats, err := Perceive(req.Image)
 	if err != nil {
 		return nil, fmt.Errorf("vlm: %s: %w", m.profile.ID, err)
 	}
+	return m.answer(req, feats)
+}
+
+// ClassifyPerceived answers the request using precomputed perception
+// features, letting callers that sweep many classifiers over the same
+// frame perceive each image exactly once. Answers are bit-identical to
+// Classify on the same request: perception depends only on the image,
+// and the response model depends only on (features, request).
+func (m *Model) ClassifyPerceived(req Request, feats Features) ([]bool, error) {
+	req = req.withDefaults()
+	if err := m.validate(req); err != nil {
+		return nil, err
+	}
+	return m.answer(req, feats)
+}
+
+func (m *Model) validate(req Request) error {
+	if req.Image == nil {
+		return fmt.Errorf("vlm: %s: request has no image", m.profile.ID)
+	}
+	if len(req.Indicators) == 0 {
+		return fmt.Errorf("vlm: %s: request asks about no indicators", m.profile.ID)
+	}
+	if req.Temperature < 0 || req.Temperature > 2 {
+		return fmt.Errorf("vlm: %s: temperature %f outside [0,2]", m.profile.ID, req.Temperature)
+	}
+	if req.TopP <= 0 || req.TopP > 1 {
+		return fmt.Errorf("vlm: %s: top-p %f outside (0,1]", m.profile.ID, req.TopP)
+	}
+	if req.Shots < 0 || req.Shots > 64 {
+		return fmt.Errorf("vlm: %s: shots %d outside [0,64]", m.profile.ID, req.Shots)
+	}
+	return nil
+}
+
+func (m *Model) answer(req Request, feats Features) ([]bool, error) {
 	answers := make([]bool, len(req.Indicators))
 	for i, ind := range req.Indicators {
 		if ind.Index() < 0 {

@@ -11,6 +11,8 @@
 package vlm
 
 import (
+	"fmt"
+
 	"nbhd/internal/render"
 )
 
@@ -49,6 +51,9 @@ type Features struct {
 // distinctive signature, mirroring how the real classes are visually
 // separable in street imagery.
 func Perceive(img *render.Image) (Features, error) {
+	if img == nil {
+		return Features{}, fmt.Errorf("vlm: perceive: nil image")
+	}
 	view := img
 	if img.W > perceptionSize || img.H > perceptionSize {
 		var err error
