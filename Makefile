@@ -23,9 +23,11 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchmem
 
 # Short-form benchmark smoke for CI: proves the harness runs and gives a
-# perf trajectory point without the full sweep's cost.
+# perf trajectory point without the full sweep's cost. Includes the HTTP
+# backend sweep against an in-process llmserve, so the remote evaluation
+# path stays on the perf radar.
 bench-smoke:
-	$(GO) test -run=NONE -bench=MatMul128 -benchtime=1x
+	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep' -benchtime=1x
 
 fmt:
 	gofmt -w .

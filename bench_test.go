@@ -11,12 +11,18 @@
 package nbhd
 
 import (
+	"context"
 	"fmt"
+	"net/http/httptest"
 	"testing"
+	"time"
 
+	"nbhd/internal/backend"
 	"nbhd/internal/core"
 	"nbhd/internal/dataset"
 	"nbhd/internal/ensemble"
+	"nbhd/internal/llmclient"
+	"nbhd/internal/llmserve"
 	"nbhd/internal/metrics"
 	"nbhd/internal/prompt"
 	"nbhd/internal/render"
@@ -612,6 +618,49 @@ func BenchmarkMatMul128(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := tensor.MatMul(a, c); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTTPBackend_Sweep measures the remote evaluation path: one
+// model swept over the corpus by the engine through the HTTP backend —
+// llmserve in-process, bounded in-flight requests, lossless image
+// transport. The comparison point is BenchmarkTables3to6_PerLLM's
+// in-process sweeps; the gap is pure serialization + HTTP overhead.
+func BenchmarkHTTPBackend_Sweep(b *testing.B) {
+	pipe, err := core.NewPipeline(core.Config{Coordinates: 25, Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := llmserve.NewBuiltin(llmserve.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client, err := llmclient.New(llmclient.Config{
+		BaseURL:     ts.URL,
+		BaseBackoff: time.Millisecond,
+		Encoding:    llmclient.EncodeRawF32,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb, err := backend.NewHTTP(backend.HTTPConfig{Client: client, Model: vlm.Gemini15Pro, MaxInFlight: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := pipe.NewEvaluator(core.EvalConfig{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ev.EvaluateBackend(ctx, hb, core.LLMOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			_, _, _, acc := rep.Averages()
+			b.ReportMetric(acc, "accuracy")
 		}
 	}
 }

@@ -6,13 +6,22 @@
 //
 // Usage:
 //
-//	llmeval -coords 300                 # everything, in-process
-//	llmeval -coords 150 -experiment f4  # just the Fig. 4 comparison
-//	llmeval -workers 8                  # cap the evaluation fan-out
+//	llmeval -coords 300                       # everything, in-process
+//	llmeval -coords 150 -experiment f4        # just the Fig. 4 comparison
+//	llmeval -workers 8                        # cap the evaluation fan-out
+//	llmeval -backend http -base-url http://127.0.0.1:8080
+//	                                          # same sweeps via a remote llmserve
+//	llmeval -backend yolo -train-epochs 20    # detector presence over the corpus
+//	llmeval -backend cnn                      # scene-classification CNN baseline
 //
-// All sweeps run on the concurrent evaluation engine: frames render
-// once into a shared cache, classification fans out across workers, and
-// Ctrl-C cancels cleanly mid-sweep.
+// Every backend runs through the same concurrent evaluation engine:
+// frames render once into a shared cache, classification fans out
+// across workers shaped by the backend's capability hints, and Ctrl-C
+// cancels cleanly mid-sweep. The http backend uses the lossless image
+// encoding, so its reports are bit-identical to -backend local. The
+// yolo and cnn backends first train their model on the corpus's 70/20/10
+// split, then sweep the whole corpus; -experiment selection applies only
+// to the local and http backends.
 package main
 
 import (
@@ -22,7 +31,10 @@ import (
 	"os"
 	"os/signal"
 
+	"nbhd/internal/backend"
 	"nbhd/internal/core"
+	"nbhd/internal/ensemble"
+	"nbhd/internal/llmclient"
 	"nbhd/internal/metrics"
 	"nbhd/internal/prompt"
 	"nbhd/internal/report"
@@ -37,11 +49,19 @@ func main() {
 	}
 }
 
+// backendFactory builds a backend for one model ID — local simulation
+// or remote HTTP, selected by -backend.
+type backendFactory func(id vlm.ModelID) (backend.Backend, error)
+
 func run() error {
 	coords := flag.Int("coords", 150, "sampled coordinates (4 frames each)")
 	seed := flag.Int64("seed", 1, "seed")
-	experiment := flag.String("experiment", "all", "one of: all, tables, f4, f5, f6, params")
+	experiment := flag.String("experiment", "all", "one of: all, tables, f4, f5, f6, params (local/http backends)")
 	workers := flag.Int("workers", 0, "evaluation worker budget (0 = GOMAXPROCS); multi-model sweeps divide it")
+	backendName := flag.String("backend", "local", "classifier backend: local, http, yolo, or cnn")
+	baseURL := flag.String("base-url", "http://127.0.0.1:8080", "llmserve base URL for -backend http")
+	apiKey := flag.String("api-key", "", "bearer token for -backend http")
+	trainEpochs := flag.Int("train-epochs", 20, "training epochs for -backend yolo/cnn")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -53,34 +73,140 @@ func run() error {
 	}
 	ev := pipe.NewEvaluator(core.EvalConfig{Workers: *workers})
 
-	switch *experiment {
-	case "all":
-		if err := tables(ctx, ev); err != nil {
+	switch *backendName {
+	case "local", "http":
+		mk, err := modelBackends(*backendName, *baseURL, *apiKey)
+		if err != nil {
 			return err
 		}
-		if err := fig4(ctx, ev); err != nil {
-			return err
-		}
-		if err := fig5(ctx, ev); err != nil {
-			return err
-		}
-		if err := fig6(ctx, ev); err != nil {
-			return err
-		}
-		return params(ctx, ev)
-	case "tables":
-		return tables(ctx, ev)
-	case "f4":
-		return fig4(ctx, ev)
-	case "f5":
-		return fig5(ctx, ev)
-	case "f6":
-		return fig6(ctx, ev)
-	case "params":
-		return params(ctx, ev)
+		return experiments(ctx, ev, mk, *experiment)
+	case "yolo", "cnn":
+		return detectorBackend(ctx, pipe, ev, *backendName, *trainEpochs)
 	default:
-		return fmt.Errorf("unknown experiment %q", *experiment)
+		return fmt.Errorf("unknown backend %q (want local, http, yolo, or cnn)", *backendName)
 	}
+}
+
+// modelBackends returns the per-model backend factory for the local or
+// http families. The http factory shares one client (one retry budget,
+// one connection pool) across models and uses the lossless image
+// encoding so reports match the local backend exactly.
+func modelBackends(kind, baseURL, apiKey string) (backendFactory, error) {
+	switch kind {
+	case "local":
+		return func(id vlm.ModelID) (backend.Backend, error) {
+			profile, err := vlm.ProfileFor(id)
+			if err != nil {
+				return nil, err
+			}
+			m, err := vlm.NewModel(profile)
+			if err != nil {
+				return nil, err
+			}
+			return backend.NewVLM(m)
+		}, nil
+	case "http":
+		client, err := llmclient.New(llmclient.Config{
+			BaseURL:  baseURL,
+			APIKey:   apiKey,
+			Encoding: llmclient.EncodeRawF32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func(id vlm.ModelID) (backend.Backend, error) {
+			return backend.NewHTTP(backend.HTTPConfig{Client: client, Model: id})
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown model backend %q", kind)
+	}
+}
+
+func experiments(ctx context.Context, ev *core.Evaluator, mk backendFactory, experiment string) error {
+	switch experiment {
+	case "all":
+		if err := tables(ctx, ev, mk); err != nil {
+			return err
+		}
+		if err := fig4(ctx, ev, mk); err != nil {
+			return err
+		}
+		if err := fig5(ctx, ev, mk); err != nil {
+			return err
+		}
+		if err := fig6(ctx, ev, mk); err != nil {
+			return err
+		}
+		return params(ctx, ev, mk)
+	case "tables":
+		return tables(ctx, ev, mk)
+	case "f4":
+		return fig4(ctx, ev, mk)
+	case "f5":
+		return fig5(ctx, ev, mk)
+	case "f6":
+		return fig6(ctx, ev, mk)
+	case "params":
+		return params(ctx, ev, mk)
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}
+
+// detectorBackend trains the requested supervised baseline on the
+// corpus split and sweeps the whole corpus through the engine — the
+// detection-vs-LLM comparison of Fig. 5 at the backend layer. Training
+// runs in a goroutine so Ctrl-C exits promptly instead of grinding
+// through the remaining epochs (the goroutine dies with the process).
+func detectorBackend(ctx context.Context, pipe *core.Pipeline, ev *core.Evaluator, kind string, epochs int) error {
+	trained := make(chan backend.Backend, 1)
+	trainErr := make(chan error, 1)
+	go func() {
+		switch kind {
+		case "yolo":
+			fmt.Printf("training detector baseline (%d epochs)...\n", epochs)
+			res, err := pipe.TrainBaseline(core.BaselineOptions{Epochs: epochs})
+			if err != nil {
+				trainErr <- err
+				return
+			}
+			b, err := backend.NewYOLO(res.Model, 0.25, 0.45)
+			if err != nil {
+				trainErr <- err
+				return
+			}
+			trained <- b
+		case "cnn":
+			fmt.Printf("training scene-classification CNN (%d epochs)...\n", epochs)
+			m, err := pipe.TrainSceneCNN(core.BaselineOptions{Epochs: epochs})
+			if err != nil {
+				trainErr <- err
+				return
+			}
+			b, err := backend.NewCNN(m, 0.5)
+			if err != nil {
+				trainErr <- err
+				return
+			}
+			trained <- b
+		default:
+			trainErr <- fmt.Errorf("unknown detector backend %q", kind)
+		}
+	}()
+	var b backend.Backend
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case err := <-trainErr:
+		return err
+	case b = <-trained:
+	}
+	rep, err := ev.EvaluateBackend(ctx, b, core.LLMOptions{})
+	if err != nil {
+		return err
+	}
+	printReport(fmt.Sprintf("%s backend — whole-corpus presence report:", b.Name()), rep)
+	return nil
 }
 
 func printReport(title string, rep *metrics.ClassReport) {
@@ -94,8 +220,22 @@ func printReport(title string, rep *metrics.ClassReport) {
 	fmt.Printf("%-18s %9.2f %9.2f %9.2f %9.2f\n", "Average", p, r, f1, acc)
 }
 
-func tables(ctx context.Context, ev *core.Evaluator) error {
-	reports, err := ev.EvaluateAllLLMs(ctx, core.LLMOptions{})
+// evalAll evaluates all four models concurrently through the factory's
+// backends, dividing the evaluator's worker budget.
+func evalAll(ctx context.Context, ev *core.Evaluator, mk backendFactory, opts core.LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
+	backends := make(map[vlm.ModelID]backend.Backend, len(vlm.AllModels()))
+	for _, id := range vlm.AllModels() {
+		b, err := mk(id)
+		if err != nil {
+			return nil, err
+		}
+		backends[id] = b
+	}
+	return ev.EvaluateModels(ctx, backends, opts)
+}
+
+func tables(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
+	reports, err := evalAll(ctx, ev, mk, core.LLMOptions{})
 	if err != nil {
 		return err
 	}
@@ -105,27 +245,23 @@ func tables(ctx context.Context, ev *core.Evaluator) error {
 	return nil
 }
 
-func evalModel(ctx context.Context, ev *core.Evaluator, id vlm.ModelID, opts core.LLMOptions) (*metrics.ClassReport, error) {
-	profile, err := vlm.ProfileFor(id)
+func evalModel(ctx context.Context, ev *core.Evaluator, mk backendFactory, id vlm.ModelID, opts core.LLMOptions) (*metrics.ClassReport, error) {
+	b, err := mk(id)
 	if err != nil {
 		return nil, err
 	}
-	m, err := vlm.NewModel(profile)
-	if err != nil {
-		return nil, err
-	}
-	return ev.EvaluateClassifier(ctx, m, opts)
+	return ev.EvaluateBackend(ctx, b, opts)
 }
 
-func fig4(ctx context.Context, ev *core.Evaluator) error {
+func fig4(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
 	fmt.Println("\nFig. 4 — recall by prompting strategy:")
 	for _, id := range []vlm.ModelID{vlm.Gemini15Pro, vlm.ChatGPT4oMini} {
 		fmt.Printf("%s:\n%-18s %9s %9s\n", id, "Indicator", "Parallel", "Sequential")
-		par, err := evalModel(ctx, ev, id, core.LLMOptions{Mode: prompt.Parallel})
+		par, err := evalModel(ctx, ev, mk, id, core.LLMOptions{Mode: prompt.Parallel})
 		if err != nil {
 			return err
 		}
-		seq, err := evalModel(ctx, ev, id, core.LLMOptions{Mode: prompt.Sequential})
+		seq, err := evalModel(ctx, ev, mk, id, core.LLMOptions{Mode: prompt.Sequential})
 		if err != nil {
 			return err
 		}
@@ -141,9 +277,9 @@ func fig4(ctx context.Context, ev *core.Evaluator) error {
 	return nil
 }
 
-func fig5(ctx context.Context, ev *core.Evaluator) error {
+func fig5(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
 	fmt.Println("\nFig. 5 — average accuracy per model and majority voting:")
-	reports, err := ev.EvaluateAllLLMs(ctx, core.LLMOptions{})
+	reports, err := evalAll(ctx, ev, mk, core.LLMOptions{})
 	if err != nil {
 		return err
 	}
@@ -151,12 +287,33 @@ func fig5(ctx context.Context, ev *core.Evaluator) error {
 		_, _, _, acc := reports[id].Averages()
 		fmt.Printf("%-18s %6.2f%%\n", id, acc*100)
 	}
-	voting, err := ev.RunMajorityVoting(ctx, reports, core.LLMOptions{})
+	// Top three vote through the same backend family: local members
+	// reproduce the in-process committee exactly, http members run the
+	// committee fully remotely (and bit-identically, thanks to the
+	// lossless transport).
+	top, err := ensemble.SelectTop(reports, 3)
 	if err != nil {
 		return err
 	}
-	_, _, _, acc := voting.Report.Averages()
-	fmt.Printf("%-18s %6.2f%%  (committee: %v)\n", "majority voting", acc*100, voting.Committee)
+	committee := make([]vlm.ModelID, len(top))
+	members := make([]backend.Backend, len(top))
+	for i, s := range top {
+		committee[i] = s.ID
+		members[i], err = mk(s.ID)
+		if err != nil {
+			return err
+		}
+	}
+	voting, err := backend.NewVoting("majority voting", members...)
+	if err != nil {
+		return err
+	}
+	votingReport, err := ev.EvaluateBackend(ctx, voting, core.LLMOptions{})
+	if err != nil {
+		return err
+	}
+	_, _, _, acc := votingReport.Averages()
+	fmt.Printf("%-18s %6.2f%%  (committee: %v)\n", "majority voting", acc*100, committee)
 
 	labels := make([]string, 0, 5)
 	values := make([]float64, 0, 5)
@@ -176,7 +333,7 @@ func fig5(ctx context.Context, ev *core.Evaluator) error {
 	return nil
 }
 
-func fig6(ctx context.Context, ev *core.Evaluator) error {
+func fig6(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
 	fmt.Println("\nFig. 6 — Gemini recall by prompt language:")
 	fmt.Printf("%-18s", "Indicator")
 	for _, lang := range prompt.Languages() {
@@ -185,7 +342,7 @@ func fig6(ctx context.Context, ev *core.Evaluator) error {
 	fmt.Println()
 	reports := make(map[prompt.Language]*metrics.ClassReport, 4)
 	for _, lang := range prompt.Languages() {
-		rep, err := evalModel(ctx, ev, vlm.Gemini15Pro, core.LLMOptions{Language: lang})
+		rep, err := evalModel(ctx, ev, mk, vlm.Gemini15Pro, core.LLMOptions{Language: lang})
 		if err != nil {
 			return err
 		}
@@ -229,11 +386,11 @@ func fig6(ctx context.Context, ev *core.Evaluator) error {
 	return nil
 }
 
-func params(ctx context.Context, ev *core.Evaluator) error {
+func params(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
 	fmt.Println("\n§IV-C4 — Gemini F1 by sampling parameters:")
 	fmt.Printf("%-24s %8s\n", "setting", "avg F1")
 	for _, temp := range []float64{0.1, vlm.DefaultTemperature, 1.5} {
-		rep, err := evalModel(ctx, ev, vlm.Gemini15Pro, core.LLMOptions{Temperature: temp})
+		rep, err := evalModel(ctx, ev, mk, vlm.Gemini15Pro, core.LLMOptions{Temperature: temp})
 		if err != nil {
 			return err
 		}
@@ -241,7 +398,7 @@ func params(ctx context.Context, ev *core.Evaluator) error {
 		fmt.Printf("temperature %-12.1f %8.2f\n", temp, f1)
 	}
 	for _, topP := range []float64{0.5, 0.75, vlm.DefaultTopP} {
-		rep, err := evalModel(ctx, ev, vlm.Gemini15Pro, core.LLMOptions{TopP: topP})
+		rep, err := evalModel(ctx, ev, mk, vlm.Gemini15Pro, core.LLMOptions{TopP: topP})
 		if err != nil {
 			return err
 		}

@@ -16,4 +16,11 @@
 // worker-pool Evaluator fans classification out across GOMAXPROCS
 // workers with context cancellation — bit-identical to the serial path
 // (see README.md for the API and guarantees).
+//
+// Every classifier family flows into that engine through the pluggable
+// backend layer in internal/backend: one Backend interface (batched
+// Classify plus capability hints) with adapters for the builtin models,
+// committees, remote HTTP models (lossless image transport makes their
+// reports bit-identical to local), the YOLO detector's presence
+// predictions, and the scene-classification CNN baseline.
 package nbhd

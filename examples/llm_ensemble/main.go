@@ -1,8 +1,11 @@
 // LLM ensemble over the wire: start the simulated LLM API service on a
-// local port, sweep a set of frames through all four models via the HTTP
-// client (with retries against injected 429s), majority-vote the top
-// three, and print the accuracy ladder — Fig. 5 reproduced end-to-end
-// through the network stack.
+// local port, sweep all four models over the corpus through the
+// evaluation engine's HTTP backend (bounded in-flight requests, retries
+// with jittered backoff against injected 429s), majority-vote the top
+// three with a remote voting backend, and print the accuracy ladder —
+// Fig. 5 reproduced end-to-end through the network stack. With the
+// client's lossless image encoding, every number matches what the same
+// sweep produces in-process.
 package main
 
 import (
@@ -13,13 +16,11 @@ import (
 	"os"
 	"time"
 
-	"nbhd/internal/dataset"
+	"nbhd/internal/backend"
+	"nbhd/internal/core"
 	"nbhd/internal/ensemble"
 	"nbhd/internal/llmclient"
 	"nbhd/internal/llmserve"
-	"nbhd/internal/metrics"
-	"nbhd/internal/render"
-	"nbhd/internal/scene"
 	"nbhd/internal/vlm"
 )
 
@@ -31,28 +32,15 @@ func main() {
 }
 
 func run() error {
-	// Corpus: 40 coordinates x 4 headings.
-	study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 40, Seed: 3})
+	// Corpus: 40 coordinates x 4 headings, with the shared render cache
+	// the engine uses for every sweep below.
+	pipe, err := core.NewPipeline(core.Config{Coordinates: 40, Seed: 3})
 	if err != nil {
 		return err
-	}
-	indices := make([]int, study.Len())
-	for i := range indices {
-		indices[i] = i
-	}
-	// Render through the shared cache: the corpus rasterizes once no
-	// matter how many sweeps (or reruns) consume it.
-	cache := dataset.NewRenderCache(study)
-	examples, err := cache.Examples(indices, 96)
-	if err != nil {
-		return err
-	}
-	images := make([]*render.Image, len(examples))
-	for i := range examples {
-		images[i] = examples[i].Image
 	}
 
-	// Service with mild chaos: 5% of requests get a 429.
+	// Service with mild chaos: 5% of requests get a 429 advertising the
+	// default Retry-After: 1.
 	srv, err := llmserve.NewBuiltin(llmserve.Config{
 		Failures: llmserve.FailureConfig{Prob429: 0.05, Seed: 9},
 	})
@@ -69,62 +57,66 @@ func run() error {
 	baseURL := "http://" + ln.Addr().String()
 	fmt.Printf("LLM service on %s (5%% injected 429s)\n", baseURL)
 
-	client, err := llmclient.New(llmclient.Config{BaseURL: baseURL, MaxRetries: 6, BaseBackoff: 5 * time.Millisecond})
+	// MaxRetryAfter caps how long we honor the server's pacing so the
+	// demo stays snappy under chaos.
+	client, err := llmclient.New(llmclient.Config{
+		BaseURL:       baseURL,
+		MaxRetries:    6,
+		BaseBackoff:   5 * time.Millisecond,
+		MaxRetryAfter: 50 * time.Millisecond,
+		Encoding:      llmclient.EncodeRawF32,
+	})
 	if err != nil {
 		return err
 	}
+	httpBackend := func(id vlm.ModelID) (backend.Backend, error) {
+		return backend.NewHTTP(backend.HTTPConfig{Client: client, Model: id, MaxInFlight: 8})
+	}
 
-	inds := scene.Indicators()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
+	ev := pipe.NewEvaluator(core.EvalConfig{})
 
-	// Sweep every model over the corpus through HTTP.
-	perModel := make(map[vlm.ModelID][][]bool, 4)
-	reports := make(map[vlm.ModelID]*metrics.ClassReport, 4)
+	// Sweep every model over the corpus through HTTP via the engine.
+	backends := make(map[vlm.ModelID]backend.Backend, 4)
 	for _, id := range vlm.AllModels() {
-		results, err := client.ClassifyBatch(ctx, id, images, inds[:], llmclient.ClassifyOptions{}, 8)
+		b, err := httpBackend(id)
 		if err != nil {
 			return err
 		}
-		answers := make([][]bool, len(results))
-		var report metrics.ClassReport
-		for i, r := range results {
-			if r.Err != nil {
-				return fmt.Errorf("%s frame %d: %w", id, i, r.Err)
-			}
-			answers[i] = r.Answers
-			var pred [scene.NumIndicators]bool
-			copy(pred[:], r.Answers)
-			report.AddVector(pred, study.Frames[i].Scene.Presence())
-		}
-		perModel[id] = answers
-		reports[id] = &report
-		_, _, _, acc := report.Averages()
-		fmt.Printf("%-18s accuracy %.3f (%d frames over HTTP)\n", id, acc, len(images))
+		backends[id] = b
+	}
+	reports, err := ev.EvaluateModels(ctx, backends, core.LLMOptions{})
+	if err != nil {
+		return err
+	}
+	for _, id := range vlm.AllModels() {
+		_, _, _, acc := reports[id].Averages()
+		fmt.Printf("%-18s accuracy %.3f (%d frames over HTTP)\n", id, acc, pipe.Study.Len())
 	}
 
-	// Select the top three and vote their stored answers.
+	// Select the top three and vote them — still fully remote: the
+	// voting backend fans each frame to its member HTTP backends.
 	top, err := ensemble.SelectTop(reports, 3)
 	if err != nil {
 		return err
 	}
 	committee := make([]vlm.ModelID, len(top))
+	members := make([]backend.Backend, len(top))
 	for i, s := range top {
 		committee[i] = s.ID
-	}
-	var votedReport metrics.ClassReport
-	for i := range images {
-		votes := make([][]bool, 0, len(committee))
-		for _, id := range committee {
-			votes = append(votes, perModel[id][i])
-		}
-		voted, err := ensemble.Vote(votes)
+		members[i], err = httpBackend(s.ID)
 		if err != nil {
 			return err
 		}
-		var pred [scene.NumIndicators]bool
-		copy(pred[:], voted)
-		votedReport.AddVector(pred, study.Frames[i].Scene.Presence())
+	}
+	voting, err := backend.NewVoting("majority voting", members...)
+	if err != nil {
+		return err
+	}
+	votedReport, err := ev.EvaluateBackend(ctx, voting, core.LLMOptions{})
+	if err != nil {
+		return err
 	}
 	_, _, _, votedAcc := votedReport.Averages()
 	fmt.Printf("%-18s accuracy %.3f (committee %v)\n", "majority voting", votedAcc, committee)

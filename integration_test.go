@@ -52,7 +52,7 @@ func TestEndToEndOverHTTP(t *testing.T) {
 	}
 	llmTS := httptest.NewServer(llmSrv.Handler())
 	defer llmTS.Close()
-	llm, err := llmclient.New(llmclient.Config{BaseURL: llmTS.URL, MaxRetries: 8, BaseBackoff: time.Millisecond})
+	llm, err := llmclient.New(llmclient.Config{BaseURL: llmTS.URL, MaxRetries: 8, BaseBackoff: time.Millisecond, MaxRetryAfter: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

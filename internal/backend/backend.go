@@ -1,0 +1,97 @@
+// Package backend is the pluggable classifier-backend layer beneath the
+// evaluation engine. Every classifier family the paper compares — the
+// builtin simulated vision LLMs, majority-voting committees, remote
+// models behind the chat-completions HTTP API, the YOLO-style detector's
+// presence predictions, and the scene-classification CNN baseline — is
+// adapted to one Backend interface, so a single engine (core.Evaluator)
+// drives them all over the same shared render and perception caches and
+// merges their confusion reports through the same path.
+//
+// A Backend classifies frames in batches and advertises capability hints
+// the engine uses to shape the sweep: whether it consumes precomputed
+// perception features, the batch size it prefers, how many concurrent
+// Classify calls it tolerates, and the render resolution it needs.
+package backend
+
+import (
+	"context"
+
+	"nbhd/internal/prompt"
+	"nbhd/internal/render"
+	"nbhd/internal/scene"
+	"nbhd/internal/vlm"
+)
+
+// Item is one frame in a batch classification request.
+type Item struct {
+	// ID identifies the frame (for error messages and tracing).
+	ID string
+	// Image is the rendered frame; backends must treat the pixels as
+	// read-only (cached images are shared across sweeps).
+	Image *render.Image
+	// Feats holds precomputed perception features. The engine fills it
+	// only for backends whose Capabilities report PerceivedFeatures;
+	// otherwise it is nil.
+	Feats *vlm.Features
+}
+
+// Options are the request knobs shared by every item in a batch.
+type Options struct {
+	// Indicators are the classes asked about, in answer order.
+	Indicators []scene.Indicator
+	// Language of the prompt; zero defaults to English.
+	Language prompt.Language
+	// Mode is parallel or sequential prompting; zero defaults to
+	// parallel.
+	Mode prompt.Mode
+	// Temperature and TopP forward to the models (zero = defaults).
+	Temperature, TopP float64
+	// Nonce decorrelates repeated identical requests.
+	Nonce int64
+}
+
+// BatchRequest asks a backend to classify a batch of frames under one
+// set of options.
+type BatchRequest struct {
+	Items   []Item
+	Options Options
+}
+
+// BatchResult is a backend's answer to a BatchRequest.
+type BatchResult struct {
+	// Answers[i] holds Items[i]'s per-indicator answers, aligned with
+	// Options.Indicators.
+	Answers [][]bool
+}
+
+// Capabilities are the hints a backend gives the engine about how it
+// wants to be driven.
+type Capabilities struct {
+	// PerceivedFeatures reports whether the backend consumes the shared
+	// perception cache (Item.Feats). Only in-process classifiers with a
+	// ClassifyPerceived fast path support this.
+	PerceivedFeatures bool
+	// PreferredBatch is the batch size the backend wants per Classify
+	// call; values < 1 mean one frame per call.
+	PreferredBatch int
+	// MaxConcurrency caps concurrent Classify calls; zero or negative
+	// means unbounded. Backends whose forward pass keeps state (the NN
+	// models cache layer inputs) report 1.
+	MaxConcurrency int
+	// RenderSize is the square frame resolution the backend requires;
+	// zero means the engine's default (the LLM render size).
+	RenderSize int
+}
+
+// Backend classifies batches of street-view frames.
+type Backend interface {
+	// Name identifies the backend in logs, reports, and errors.
+	Name() string
+	// Capabilities returns the backend's driving hints; it must be
+	// constant over the backend's lifetime.
+	Capabilities() Capabilities
+	// Classify answers the batch. Implementations must honor context
+	// cancellation and return answer vectors aligned with
+	// req.Options.Indicators for every item.
+	Classify(ctx context.Context, req BatchRequest) (BatchResult, error)
+}

@@ -1,0 +1,73 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nbhd/internal/classify"
+)
+
+// CNN adapts the multi-label scene-classification baseline (§IV-B3) to
+// the Backend interface: per-indicator presence probabilities from the
+// compact CNN, thresholded into Yes/No answers.
+type CNN struct {
+	model     *classify.Model
+	threshold float64
+
+	// Forward passes cache layer inputs; serialize them (see YOLO).
+	mu sync.Mutex
+}
+
+// NewCNN wraps a trained classifier. A zero threshold defaults to 0.5.
+func NewCNN(m *classify.Model, threshold float64) (*CNN, error) {
+	if m == nil {
+		return nil, fmt.Errorf("backend: nil classifier model")
+	}
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("backend: threshold %f outside (0,1)", threshold)
+	}
+	return &CNN{model: m, threshold: threshold}, nil
+}
+
+// Name identifies the backend.
+func (c *CNN) Name() string { return "cnn" }
+
+// Capabilities: the CNN needs frames at its own input resolution and
+// must run single-file.
+func (c *CNN) Capabilities() Capabilities {
+	return Capabilities{
+		PreferredBatch: 16,
+		MaxConcurrency: 1,
+		RenderSize:     c.model.InputSize(),
+	}
+}
+
+// Classify predicts presence probabilities per frame and thresholds
+// them.
+func (c *CNN) Classify(ctx context.Context, req BatchRequest) (BatchResult, error) {
+	answers := make([][]bool, len(req.Items))
+	for i := range req.Items {
+		if err := ctx.Err(); err != nil {
+			return BatchResult{}, err
+		}
+		it := &req.Items[i]
+		c.mu.Lock()
+		probs, err := c.model.Predict(it.Image)
+		c.mu.Unlock()
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("backend: cnn: predict %s: %w", it.ID, err)
+		}
+		ans := make([]bool, len(req.Options.Indicators))
+		for k, ind := range req.Options.Indicators {
+			if idx := ind.Index(); idx >= 0 {
+				ans[k] = probs[idx] >= c.threshold
+			}
+		}
+		answers[i] = ans
+	}
+	return BatchResult{Answers: answers}, nil
+}

@@ -1,0 +1,90 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nbhd/internal/scene"
+	"nbhd/internal/yolo"
+)
+
+// YOLO adapts the trained grid detector to the Backend interface by
+// deriving image-level indicator presence from its detections: an
+// indicator is predicted present when any detection of that class clears
+// the score threshold — the comparison the paper's Fig. 5 makes between
+// YOLOv11 and the LLMs.
+type YOLO struct {
+	model       *yolo.Model
+	scoreThresh float64
+	nmsIoU      float64
+
+	// The NN forward pass caches layer inputs, so Detect is not safe to
+	// call concurrently on one model; the mutex makes the adapter safe
+	// regardless of how it is driven (the capability hint keeps the
+	// engine from queuing on it).
+	mu sync.Mutex
+}
+
+// NewYOLO wraps a trained detector. Zero thresholds default to the
+// paper's 0.25 score and 0.45 NMS IoU.
+func NewYOLO(m *yolo.Model, scoreThresh, nmsIoU float64) (*YOLO, error) {
+	if m == nil {
+		return nil, fmt.Errorf("backend: nil detector")
+	}
+	if scoreThresh == 0 {
+		scoreThresh = 0.25
+	}
+	if nmsIoU == 0 {
+		nmsIoU = 0.45
+	}
+	if scoreThresh <= 0 || scoreThresh >= 1 || nmsIoU <= 0 || nmsIoU >= 1 {
+		return nil, fmt.Errorf("backend: thresholds (%f, %f) outside (0,1)", scoreThresh, nmsIoU)
+	}
+	return &YOLO{model: m, scoreThresh: scoreThresh, nmsIoU: nmsIoU}, nil
+}
+
+// Name identifies the backend.
+func (y *YOLO) Name() string { return "yolo" }
+
+// Capabilities: the detector needs frames at its own input resolution,
+// does not consume perception features, and must run single-file.
+func (y *YOLO) Capabilities() Capabilities {
+	return Capabilities{
+		PreferredBatch: 16,
+		MaxConcurrency: 1,
+		RenderSize:     y.model.InputSize(),
+	}
+}
+
+// Classify detects objects in each frame and reports per-indicator
+// presence.
+func (y *YOLO) Classify(ctx context.Context, req BatchRequest) (BatchResult, error) {
+	answers := make([][]bool, len(req.Items))
+	for i := range req.Items {
+		if err := ctx.Err(); err != nil {
+			return BatchResult{}, err
+		}
+		it := &req.Items[i]
+		y.mu.Lock()
+		dets, err := y.model.Detect(it.Image, y.scoreThresh, y.nmsIoU)
+		y.mu.Unlock()
+		if err != nil {
+			return BatchResult{}, fmt.Errorf("backend: yolo: detect %s: %w", it.ID, err)
+		}
+		var present [scene.NumIndicators]bool
+		for _, d := range dets {
+			if idx := d.Class.Index(); idx >= 0 {
+				present[idx] = true
+			}
+		}
+		ans := make([]bool, len(req.Options.Indicators))
+		for k, ind := range req.Options.Indicators {
+			if idx := ind.Index(); idx >= 0 {
+				ans[k] = present[idx]
+			}
+		}
+		answers[i] = ans
+	}
+	return BatchResult{Answers: answers}, nil
+}

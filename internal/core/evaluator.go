@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"nbhd/internal/backend"
 	"nbhd/internal/ensemble"
 	"nbhd/internal/metrics"
 	"nbhd/internal/render"
@@ -18,17 +20,9 @@ import (
 // PerceivingClassifier is a Classifier that can consume precomputed
 // perception features, letting the evaluator perceive each frame once
 // and share the evidence across every model and committee that sweeps
-// the corpus.
-type PerceivingClassifier interface {
-	Classifier
-	ClassifyPerceived(req vlm.Request, feats vlm.Features) ([]bool, error)
-}
-
-// The in-repo classifiers all support the fast path.
-var (
-	_ PerceivingClassifier = (*vlm.Model)(nil)
-	_ PerceivingClassifier = (*ensemble.Committee)(nil)
-)
+// the corpus. It aliases the backend layer's definition so the
+// fast-path contract has exactly one home.
+type PerceivingClassifier = backend.PerceivingClassifier
 
 // EvalConfig tunes the concurrent evaluator.
 type EvalConfig struct {
@@ -37,14 +31,17 @@ type EvalConfig struct {
 	Workers int
 }
 
-// Evaluator sweeps classifiers over the pipeline's corpus concurrently.
-// Frames are classified by a pool of workers feeding per-worker partial
-// ClassReports that are merged at the end; renders and perception
-// features come from caches shared with every other sweep on the same
-// pipeline. Results are bit-identical to the serial path: each model
-// answer is deterministic in (model, frame content, request), renders
-// are deterministic in the scene, and confusion counts are
-// order-independent under merge.
+// Evaluator sweeps classifier backends over the pipeline's corpus
+// concurrently. Every backend family — builtin VLMs, committees, remote
+// HTTP models, the YOLO detector, the CNN baseline — flows through the
+// same path: frames come from the shared render cache at the backend's
+// resolution, perception features come from the shared perception cache
+// when the backend consumes them, batches fan out across a worker pool
+// shaped by the backend's capability hints, and per-worker partial
+// ClassReports are merged at the end. Results are bit-identical to a
+// serial sweep: answers are deterministic in (backend, frame content,
+// request), renders are deterministic in the scene, and confusion
+// counts are order-independent under merge.
 type Evaluator struct {
 	pipe    *Pipeline
 	workers int
@@ -75,47 +72,78 @@ func (p *Pipeline) features(img *render.Image) (vlm.Features, error) {
 	return e.feats, e.err
 }
 
-// classifyCached runs one classifier on one rendered frame, feeding it
-// cached perception features when the classifier supports them (pc is
-// the classifier's PerceivingClassifier view, nil when it has none).
-// Errors come back fully wrapped with the frame id.
-func (p *Pipeline) classifyCached(c Classifier, pc PerceivingClassifier, id string, req vlm.Request) ([]bool, error) {
-	var answers []bool
-	var err error
-	if pc != nil {
-		var feats vlm.Features
-		feats, err = p.features(req.Image)
-		if err != nil {
-			return nil, fmt.Errorf("core: perceive %s: %w", id, err)
-		}
-		answers, err = pc.ClassifyPerceived(req, feats)
-	} else {
-		answers, err = c.Classify(req)
+// localBackend adapts an in-process Classifier to the backend layer,
+// labeling the known families for better errors.
+func localBackend(c Classifier) (*backend.Local, error) {
+	switch v := c.(type) {
+	case *vlm.Model:
+		return backend.NewVLM(v)
+	case *ensemble.Committee:
+		return backend.NewCommittee(v)
+	default:
+		return backend.NewLocal("local", v)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("core: classify %s: %w", id, err)
-	}
-	return answers, nil
 }
 
-// EvaluateClassifier sweeps the classifier over the corpus with the
-// evaluator's worker pool. The context cancels the sweep: the first
-// error (or cancellation) stops all workers and is returned.
+// EvaluateClassifier sweeps an in-process classifier over the corpus by
+// adapting it to the backend layer — the historical entry point for
+// models and committees, now one caller of EvaluateBackend among five
+// backend families.
 func (e *Evaluator) EvaluateClassifier(ctx context.Context, c Classifier, opts LLMOptions) (*metrics.ClassReport, error) {
+	b, err := localBackend(c)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return e.EvaluateBackend(ctx, b, opts)
+}
+
+// EvaluateBackend sweeps any classifier backend over the corpus with the
+// evaluator's worker pool. The backend's capability hints shape the
+// sweep: frames render (once, cached) at its preferred resolution,
+// perception features are precomputed only when it consumes them,
+// classification happens in batches of its preferred size, and
+// concurrent Classify calls are bounded by its maximum concurrency —
+// rendering and perception stay fully parallel even for single-file
+// backends. The context cancels the sweep: the first error (or
+// cancellation) stops all workers and is returned.
+func (e *Evaluator) EvaluateBackend(ctx context.Context, b backend.Backend, opts LLMOptions) (*metrics.ClassReport, error) {
 	p := e.pipe
+	caps := b.Capabilities()
 	n := p.Study.Len()
 	if opts.FrameLimit > 0 && opts.FrameLimit < n {
 		n = opts.FrameLimit
 	}
+	size := caps.RenderSize
+	if size <= 0 {
+		size = p.cfg.LLMRenderSize
+	}
+	batch := caps.PreferredBatch
+	if batch < 1 {
+		batch = 1
+	}
+	nBatches := (n + batch - 1) / batch
 	workers := e.workers
-	if workers > n {
-		workers = n
+	if workers > nBatches {
+		workers = nBatches
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	pc, _ := c.(PerceivingClassifier)
+	// MaxConcurrency bounds concurrent Classify calls only — workers
+	// above the cap still render and perceive in parallel (the caches'
+	// main win), queuing on the semaphore just for classification.
+	var classifySem chan struct{}
+	if caps.MaxConcurrency > 0 && caps.MaxConcurrency < workers {
+		classifySem = make(chan struct{}, caps.MaxConcurrency)
+	}
 	inds := scene.Indicators()
+	options := backend.Options{
+		Indicators:  inds[:],
+		Language:    opts.Language,
+		Mode:        opts.Mode,
+		Temperature: opts.Temperature,
+		TopP:        opts.TopP,
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -141,31 +169,61 @@ func (e *Evaluator) EvaluateClassifier(ctx context.Context, c Classifier, opts L
 				if ctx.Err() != nil {
 					return
 				}
-				i := int(next.Add(1))
-				if i >= n {
+				bi := int(next.Add(1))
+				if bi >= nBatches {
 					return
 				}
-				ex, err := p.cache.Example(i, p.cfg.LLMRenderSize)
+				start := bi * batch
+				end := start + batch
+				if end > n {
+					end = n
+				}
+				items := make([]backend.Item, 0, end-start)
+				for i := start; i < end; i++ {
+					ex, err := p.cache.Example(i, size)
+					if err != nil {
+						fail(fmt.Errorf("core: %w", err))
+						return
+					}
+					item := backend.Item{ID: ex.ID, Image: ex.Image}
+					if caps.PerceivedFeatures {
+						feats, err := p.features(ex.Image)
+						if err != nil {
+							fail(fmt.Errorf("core: perceive %s: %w", ex.ID, err))
+							return
+						}
+						item.Feats = &feats
+					}
+					items = append(items, item)
+				}
+				if classifySem != nil {
+					select {
+					case classifySem <- struct{}{}:
+					case <-ctx.Done():
+						return
+					}
+				}
+				res, err := b.Classify(ctx, backend.BatchRequest{Items: items, Options: options})
+				if classifySem != nil {
+					<-classifySem
+				}
 				if err != nil {
 					fail(fmt.Errorf("core: %w", err))
 					return
 				}
-				req := vlm.Request{
-					Image:       ex.Image,
-					Indicators:  inds[:],
-					Language:    opts.Language,
-					Mode:        opts.Mode,
-					Temperature: opts.Temperature,
-					TopP:        opts.TopP,
-				}
-				answers, err := p.classifyCached(c, pc, ex.ID, req)
-				if err != nil {
-					fail(err)
+				if len(res.Answers) != len(items) {
+					fail(fmt.Errorf("core: backend %s returned %d answer vectors for %d items", b.Name(), len(res.Answers), len(items)))
 					return
 				}
-				var pred [scene.NumIndicators]bool
-				copy(pred[:], answers)
-				part.AddVector(pred, p.Study.Frames[i].Scene.Presence())
+				for k := range items {
+					if len(res.Answers[k]) != len(inds) {
+						fail(fmt.Errorf("core: backend %s answered %d indicators for %s, want %d", b.Name(), len(res.Answers[k]), items[k].ID, len(inds)))
+						return
+					}
+					var pred [scene.NumIndicators]bool
+					copy(pred[:], res.Answers[k])
+					part.AddVector(pred, p.Study.Frames[start+k].Scene.Presence())
+				}
 			}
 		}(&partials[w])
 	}
@@ -183,25 +241,20 @@ func (e *Evaluator) EvaluateClassifier(ctx context.Context, c Classifier, opts L
 	return &report, nil
 }
 
-// EvaluateAllLLMs evaluates the four built-in models concurrently over
-// the shared caches and returns their reports keyed by ID. The
-// evaluator's worker budget is divided among the model sweeps so the
-// total fan-out stays at ~e.workers rather than models × workers. The
-// first model error cancels the others.
-func (e *Evaluator) EvaluateAllLLMs(ctx context.Context, opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
-	ids := vlm.AllModels()
-	models := make([]*vlm.Model, len(ids))
-	for i, id := range ids {
-		profile, err := vlm.ProfileFor(id)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		m, err := vlm.NewModel(profile)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		models[i] = m
+// EvaluateModels evaluates one backend per model concurrently over the
+// shared caches and returns their reports keyed by ID. The evaluator's
+// worker budget is divided among the sweeps so the total fan-out stays
+// at ~e.workers rather than models × workers. The first backend error
+// cancels the others.
+func (e *Evaluator) EvaluateModels(ctx context.Context, backends map[vlm.ModelID]backend.Backend, opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("core: no backends to evaluate")
 	}
+	ids := make([]vlm.ModelID, 0, len(backends))
+	for id := range backends {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	perSweep := e.workers / len(ids)
 	if perSweep < 1 {
 		perSweep = 1
@@ -216,7 +269,7 @@ func (e *Evaluator) EvaluateAllLLMs(ctx context.Context, opts LLMOptions) (map[v
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rep, err := sub.EvaluateClassifier(ctx, models[i], opts)
+			rep, err := sub.EvaluateBackend(ctx, backends[ids[i]], opts)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: %s: %w", ids[i], err)
 				cancel()
@@ -227,7 +280,7 @@ func (e *Evaluator) EvaluateAllLLMs(ctx context.Context, opts LLMOptions) (map[v
 	}
 	wg.Wait()
 	// Report errors in model order so failures are deterministic even
-	// when several models fail at once — but skip the secondary
+	// when several backends fail at once — but skip the secondary
 	// cancellations our own cancel() induced in sibling sweeps, so the
 	// root cause isn't masked.
 	var canceled error
@@ -251,6 +304,28 @@ func (e *Evaluator) EvaluateAllLLMs(ctx context.Context, opts LLMOptions) (map[v
 		out[id] = reports[i]
 	}
 	return out, nil
+}
+
+// EvaluateAllLLMs evaluates the four built-in models concurrently over
+// the shared caches and returns their reports keyed by ID.
+func (e *Evaluator) EvaluateAllLLMs(ctx context.Context, opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
+	backends := make(map[vlm.ModelID]backend.Backend, len(vlm.AllModels()))
+	for _, id := range vlm.AllModels() {
+		profile, err := vlm.ProfileFor(id)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m, err := vlm.NewModel(profile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		b, err := backend.NewVLM(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		backends[id] = b
+	}
+	return e.EvaluateModels(ctx, backends, opts)
 }
 
 // RunMajorityVoting selects the top three models from the per-model

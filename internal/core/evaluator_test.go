@@ -4,7 +4,13 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"nbhd/internal/backend"
+	"nbhd/internal/classify"
+	"nbhd/internal/yolo"
 
 	"nbhd/internal/ensemble"
 	"nbhd/internal/metrics"
@@ -222,5 +228,161 @@ func TestEvaluatorSharesRenders(t *testing.T) {
 	}
 	if got, want := p.RenderCache().Renders(), int64(p.Study.Len()); got != want {
 		t.Errorf("renders = %d, want %d (one per frame)", got, want)
+	}
+}
+
+// TestEvaluateBackendYOLOMatchesPresenceReport: the detector swept
+// through the engine's backend path must equal the direct
+// DetectorPresenceReport over the same corpus at the detector's
+// resolution.
+func TestEvaluateBackendYOLOMatchesPresenceReport(t *testing.T) {
+	p := smallPipeline(t, 8)
+	m, err := yolo.New(yolo.Config{InputSize: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := backend.NewYOLO(m, 0.25, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.NewEvaluator(EvalConfig{Workers: 4}).EvaluateBackend(context.Background(), b, LLMOptions{})
+	if err != nil {
+		t.Fatalf("EvaluateBackend: %v", err)
+	}
+	indices := make([]int, p.Study.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	examples, err := p.Study.RenderExamples(indices, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.DetectorPresenceReport(m, examples, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("engine YOLO sweep diverges from DetectorPresenceReport\ngot:  %+v\nwant: %+v", *got, *want)
+	}
+}
+
+// TestEvaluateBackendCNNMatchesEvaluate: the scene-classification CNN
+// swept through the engine must equal the model's own Evaluate over the
+// same corpus.
+func TestEvaluateBackendCNNMatchesEvaluate(t *testing.T) {
+	p := smallPipeline(t, 8)
+	m, err := classify.New(classify.Config{InputSize: 32, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := backend.NewCNN(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.NewEvaluator(EvalConfig{Workers: 4}).EvaluateBackend(context.Background(), b, LLMOptions{})
+	if err != nil {
+		t.Fatalf("EvaluateBackend: %v", err)
+	}
+	indices := make([]int, p.Study.Len())
+	for i := range indices {
+		indices[i] = i
+	}
+	examples, err := p.Study.RenderExamples(indices, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Evaluate(examples, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Errorf("engine CNN sweep diverges from Model.Evaluate\ngot:  %+v\nwant: %+v", *got, *want)
+	}
+}
+
+// hintedBackend records how the engine drives it: batch sizes seen and
+// the maximum number of concurrent Classify calls.
+type hintedBackend struct {
+	caps       backend.Capabilities
+	mu         sync.Mutex
+	inFlight   int
+	maxSeen    int
+	batchSizes []int
+}
+
+func (h *hintedBackend) Name() string                       { return "hinted" }
+func (h *hintedBackend) Capabilities() backend.Capabilities { return h.caps }
+func (h *hintedBackend) Classify(_ context.Context, req backend.BatchRequest) (backend.BatchResult, error) {
+	h.mu.Lock()
+	h.inFlight++
+	if h.inFlight > h.maxSeen {
+		h.maxSeen = h.inFlight
+	}
+	h.batchSizes = append(h.batchSizes, len(req.Items))
+	h.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	h.mu.Lock()
+	h.inFlight--
+	h.mu.Unlock()
+	out := make([][]bool, len(req.Items))
+	for i := range out {
+		out[i] = make([]bool, scene.NumIndicators)
+	}
+	return backend.BatchResult{Answers: out}, nil
+}
+
+// TestEvaluateBackendHonorsCapabilityHints: batches respect
+// PreferredBatch, concurrency respects MaxConcurrency, and the report
+// still counts every frame.
+func TestEvaluateBackendHonorsCapabilityHints(t *testing.T) {
+	p := smallPipeline(t, 8) // 32 frames
+	hb := &hintedBackend{caps: backend.Capabilities{PreferredBatch: 5, MaxConcurrency: 1}}
+	rep, err := p.NewEvaluator(EvalConfig{Workers: 8}).EvaluateBackend(context.Background(), hb, LLMOptions{})
+	if err != nil {
+		t.Fatalf("EvaluateBackend: %v", err)
+	}
+	if hb.maxSeen != 1 {
+		t.Errorf("max concurrent Classify calls = %d, want 1", hb.maxSeen)
+	}
+	total := 0
+	for _, s := range hb.batchSizes {
+		if s > 5 {
+			t.Errorf("batch of %d exceeds preferred 5", s)
+		}
+		total += s
+	}
+	if total != p.Study.Len() {
+		t.Errorf("classified %d frames, want %d", total, p.Study.Len())
+	}
+	// All-false predictions: every actually-present indicator counts as
+	// a miss, so the report total must cover all frames.
+	n := 0
+	for _, ind := range scene.Indicators() {
+		c := rep.Of(ind)
+		n += c.TP + c.FP + c.TN + c.FN
+	}
+	if n != p.Study.Len()*scene.NumIndicators {
+		t.Errorf("report cells = %d, want %d", n, p.Study.Len()*scene.NumIndicators)
+	}
+}
+
+// TestEvaluateBackendRendersAtBackendSize: a backend that asks for its
+// own resolution gets it, without disturbing the LLM-resolution cache.
+func TestEvaluateBackendRendersAtBackendSize(t *testing.T) {
+	p := smallPipeline(t, 4)
+	m, err := classify.New(classify.Config{InputSize: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := backend.NewCNN(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NewEvaluator(EvalConfig{}).EvaluateBackend(context.Background(), b, LLMOptions{}); err != nil {
+		t.Fatalf("EvaluateBackend: %v", err)
+	}
+	// One render per frame at 32px; none at the LLM's 96px.
+	if got, want := p.RenderCache().Renders(), int64(p.Study.Len()); got != want {
+		t.Errorf("renders = %d, want %d", got, want)
 	}
 }

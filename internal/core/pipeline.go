@@ -12,6 +12,8 @@ import (
 	"sync"
 
 	"nbhd/internal/analysis"
+	"nbhd/internal/backend"
+	"nbhd/internal/classify"
 	"nbhd/internal/dataset"
 	"nbhd/internal/ensemble"
 	"nbhd/internal/labelme"
@@ -23,17 +25,10 @@ import (
 )
 
 // Classifier is anything that answers per-indicator Yes/No questions
-// about an image: a single simulated LLM, a majority-voting committee, or
-// an HTTP-backed client adapter.
-type Classifier interface {
-	Classify(req vlm.Request) ([]bool, error)
-}
-
-// Interface compliance for the in-repo classifiers.
-var (
-	_ Classifier = (*vlm.Model)(nil)
-	_ Classifier = (*ensemble.Committee)(nil)
-)
+// about an image: a single simulated LLM, a majority-voting committee,
+// or any test double. It aliases the backend layer's definition — one
+// interface serves both the engine's public surface and the adapters.
+type Classifier = backend.Classifier
 
 // Config parameterizes a pipeline run.
 type Config struct {
@@ -128,22 +123,35 @@ type BaselineOptions struct {
 	Progress func(epoch int, loss float64)
 }
 
-// TrainBaseline runs the paper's supervised pipeline: 70/20/10 split,
-// train the detector, evaluate P/R/F1 and mAP50 on the test split.
-func (p *Pipeline) TrainBaseline(opts BaselineOptions) (*BaselineResult, error) {
+// trainSplitExamples builds the supervised baselines' shared training
+// protocol: 70/20/10 split at Seed+1, render the training frames at the
+// detector resolution, and apply the Fig. 2 augmentation arms. The
+// detector and the scene CNN both train on exactly this corpus, which
+// is what makes their Fig. 5 comparison fair.
+func (p *Pipeline) trainSplitExamples(opts BaselineOptions) ([]dataset.Example, dataset.Split, error) {
 	split, err := p.Study.Split(dataset.PaperSplit(), p.cfg.Seed+1)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, dataset.Split{}, fmt.Errorf("core: %w", err)
 	}
 	train, err := p.Study.RenderExamples(split.Train, p.cfg.DetectorInputSize)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, dataset.Split{}, fmt.Errorf("core: %w", err)
 	}
 	if len(opts.Augment) > 0 {
 		train, err = dataset.Augment(train, opts.Augment, p.cfg.Seed+2)
 		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
+			return nil, dataset.Split{}, fmt.Errorf("core: %w", err)
 		}
+	}
+	return train, split, nil
+}
+
+// TrainBaseline runs the paper's supervised pipeline: 70/20/10 split,
+// train the detector, evaluate P/R/F1 and mAP50 on the test split.
+func (p *Pipeline) TrainBaseline(opts BaselineOptions) (*BaselineResult, error) {
+	train, split, err := p.trainSplitExamples(opts)
+	if err != nil {
+		return nil, err
 	}
 	test, err := p.Study.RenderExamples(split.Test, p.cfg.DetectorInputSize)
 	if err != nil {
@@ -208,6 +216,31 @@ func (p *Pipeline) DetectorPresenceReport(model *yolo.Model, examples []dataset.
 	return &report, nil
 }
 
+// TrainSceneCNN trains the multi-label scene-classification baseline
+// (§IV-B3) on the same 70/20/10 split protocol as the detector and
+// returns the trained model, ready to wrap in a backend.CNN for
+// engine-driven presence evaluation.
+func (p *Pipeline) TrainSceneCNN(opts BaselineOptions) (*classify.Model, error) {
+	train, _, err := p.trainSplitExamples(opts)
+	if err != nil {
+		return nil, err
+	}
+	model, err := classify.New(classify.Config{InputSize: p.cfg.DetectorInputSize, Seed: p.cfg.Seed + 6})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	err = model.Train(train, classify.TrainConfig{
+		Epochs:    opts.Epochs,
+		BatchSize: opts.BatchSize,
+		Seed:      p.cfg.Seed + 7,
+		Progress:  opts.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return model, nil
+}
+
 // LLMOptions tunes an LLM evaluation sweep.
 type LLMOptions struct {
 	// Language defaults to English; Mode to parallel.
@@ -225,6 +258,13 @@ type LLMOptions struct {
 // caches; results are bit-identical to the historical serial sweep.
 func (p *Pipeline) EvaluateClassifier(c Classifier, opts LLMOptions) (*metrics.ClassReport, error) {
 	return p.NewEvaluator(EvalConfig{}).EvaluateClassifier(context.Background(), c, opts)
+}
+
+// EvaluateBackend sweeps any classifier backend — local model,
+// committee, remote HTTP, YOLO presence, CNN baseline — over the corpus
+// through the same engine and caches.
+func (p *Pipeline) EvaluateBackend(b backend.Backend, opts LLMOptions) (*metrics.ClassReport, error) {
+	return p.NewEvaluator(EvalConfig{}).EvaluateBackend(context.Background(), b, opts)
 }
 
 // EvaluateAllLLMs runs the four built-in models concurrently and returns
@@ -265,20 +305,38 @@ func (p *Pipeline) AnalyzeNeighborhood(c Classifier, tractCellFeet float64) (*Ne
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	pc, _ := c.(PerceivingClassifier)
+	b, err := localBackend(c)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	caps := b.Capabilities()
 	inds := scene.Indicators()
+	options := backend.Options{Indicators: inds[:]}
 	var locations []analysis.LocationProfile
-	// Frames come in coordinate groups of four headings.
+	// Frames come in coordinate groups of four headings; each group is
+	// one backend batch, fed from the shared caches.
 	for start := 0; start+3 < len(examples); start += 4 {
-		perHeading := make([][scene.NumIndicators]bool, 0, 4)
+		items := make([]backend.Item, 0, 4)
 		for k := 0; k < 4; k++ {
-			req := vlm.Request{Image: examples[start+k].Image, Indicators: inds[:]}
-			answers, err := p.classifyCached(c, pc, examples[start+k].ID, req)
-			if err != nil {
-				return nil, err
+			ex := &examples[start+k]
+			item := backend.Item{ID: ex.ID, Image: ex.Image}
+			if caps.PerceivedFeatures {
+				feats, err := p.features(ex.Image)
+				if err != nil {
+					return nil, fmt.Errorf("core: perceive %s: %w", ex.ID, err)
+				}
+				item.Feats = &feats
 			}
+			items = append(items, item)
+		}
+		res, err := b.Classify(context.Background(), backend.BatchRequest{Items: items, Options: options})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		perHeading := make([][scene.NumIndicators]bool, 0, 4)
+		for k := range items {
 			var v [scene.NumIndicators]bool
-			copy(v[:], answers)
+			copy(v[:], res.Answers[k])
 			perHeading = append(perHeading, v)
 		}
 		fused, err := ensemble.FuseHeadings(perHeading, ensemble.FuseAny)

@@ -362,3 +362,109 @@ func TestFuseIdenticalProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSelectTopAllTiedIsDeterministic: with every model at the same
+// accuracy, repeated selections must return the same lexicographic
+// order — map iteration randomness must never leak into the committee.
+func TestSelectTopAllTiedIsDeterministic(t *testing.T) {
+	reports := map[vlm.ModelID]*metrics.ClassReport{
+		vlm.ChatGPT4oMini: reportWithAccuracy(t, 0.9),
+		vlm.Gemini15Pro:   reportWithAccuracy(t, 0.9),
+		vlm.Claude37:      reportWithAccuracy(t, 0.9),
+		vlm.Grok2:         reportWithAccuracy(t, 0.9),
+	}
+	first, err := SelectTop(reports, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].ID > first[i].ID {
+			t.Fatalf("tied selection not lexicographic: %v", first)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		again, err := SelectTop(reports, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first {
+			if again[i].ID != first[i].ID {
+				t.Fatalf("trial %d: order %v differs from %v", trial, again, first)
+			}
+		}
+	}
+}
+
+// TestSelectTopKLargerThanReports: k beyond the report count clamps to
+// all models, still fully ordered.
+func TestSelectTopKLargerThanReports(t *testing.T) {
+	reports := map[vlm.ModelID]*metrics.ClassReport{
+		vlm.Grok2:       reportWithAccuracy(t, 0.8),
+		vlm.Gemini15Pro: reportWithAccuracy(t, 0.9),
+	}
+	top, err := SelectTop(reports, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("top = %d entries, want 2", len(top))
+	}
+	if top[0].ID != vlm.Gemini15Pro || top[1].ID != vlm.Grok2 {
+		t.Errorf("order = %v", top)
+	}
+	// A single report works for any positive k.
+	solo, err := SelectTop(map[vlm.ModelID]*metrics.ClassReport{vlm.Claude37: reportWithAccuracy(t, 0.7)}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(solo) != 1 || solo[0].ID != vlm.Claude37 {
+		t.Errorf("solo = %v", solo)
+	}
+}
+
+// TestFuseHeadingsEmptyInputs: nil and empty (non-nil) inputs both
+// error under both strategies rather than fabricating a vector.
+func TestFuseHeadingsEmptyInputs(t *testing.T) {
+	for _, strategy := range []FusionStrategy{FuseAny, FuseMajority} {
+		if _, err := FuseHeadings(nil, strategy); err == nil {
+			t.Errorf("%s: nil headings accepted", strategy)
+		}
+		if _, err := FuseHeadings([][scene.NumIndicators]bool{}, strategy); err == nil {
+			t.Errorf("%s: empty headings accepted", strategy)
+		}
+	}
+}
+
+// TestFuseHeadingsSingleHeading: one heading is the identity for both
+// strategies.
+func TestFuseHeadingsSingleHeading(t *testing.T) {
+	v := [scene.NumIndicators]bool{true, false, true, false, false, true}
+	for _, strategy := range []FusionStrategy{FuseAny, FuseMajority} {
+		got, err := FuseHeadings([][scene.NumIndicators]bool{v}, strategy)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		if got != v {
+			t.Errorf("%s: single-heading fusion = %v, want %v", strategy, got, v)
+		}
+	}
+}
+
+// TestFuseMajorityEvenSplitIsAbsent: exactly half the headings seeing
+// an indicator is not a strict majority.
+func TestFuseMajorityEvenSplitIsAbsent(t *testing.T) {
+	per := [][scene.NumIndicators]bool{
+		{true, true, false, false, false, false},
+		{false, true, false, false, false, false},
+	}
+	got, err := FuseHeadings(per, FuseMajority)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] {
+		t.Error("1/2 split fused to present under strict majority")
+	}
+	if !got[1] {
+		t.Error("2/2 unanimity fused to absent")
+	}
+}

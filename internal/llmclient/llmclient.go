@@ -1,8 +1,9 @@
 // Package llmclient is the production-grade HTTP client for the simulated
-// LLM service: request building (PNG upload as base64 content parts),
-// retry with exponential backoff on 429/5xx, response parsing, and a
-// bounded-concurrency evaluation pool for sweeping a whole study through
-// a model.
+// LLM service: request building (PNG or lossless raw-float32 upload as
+// base64 content parts), retry with jittered exponential backoff on
+// 429/5xx honoring the server's Retry-After, and response parsing.
+// Corpus sweeps live in the evaluation engine: wrap a Client in a
+// backend.HTTP and drive it with core.Evaluator.
 package llmclient
 
 import (
@@ -12,8 +13,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
-	"sync"
+	"strconv"
 	"time"
 
 	"nbhd/internal/llmserve"
@@ -21,6 +23,19 @@ import (
 	"nbhd/internal/render"
 	"nbhd/internal/scene"
 	"nbhd/internal/vlm"
+)
+
+// ImageEncoding selects how images travel to the server.
+type ImageEncoding int
+
+const (
+	// EncodePNG (the default) uploads 8-bit PNGs — the lossy but
+	// realistic transport a production deployment would use.
+	EncodePNG ImageEncoding = iota
+	// EncodeRawF32 uploads the raw float32 pixel buffer. The round trip
+	// is lossless, so remote classification is bit-identical to running
+	// the same model in-process on the same frames.
+	EncodeRawF32
 )
 
 // Config configures a client.
@@ -34,9 +49,14 @@ type Config struct {
 	// MaxRetries is the number of retry attempts after a retryable
 	// failure (429, 5xx, transport error). Zero defaults to 3.
 	MaxRetries int
-	// BaseBackoff is the first retry delay; doubles per attempt. Zero
-	// defaults to 50ms.
+	// BaseBackoff is the first retry delay; doubles per attempt, with
+	// full jitter in [delay/2, delay]. Zero defaults to 50ms.
 	BaseBackoff time.Duration
+	// MaxRetryAfter caps how long the client honors a server's
+	// Retry-After header before retrying anyway. Zero defaults to 30s.
+	MaxRetryAfter time.Duration
+	// Encoding selects the image wire format; the zero value is PNG.
+	Encoding ImageEncoding
 }
 
 // Client talks to one server.
@@ -61,6 +81,12 @@ func New(cfg Config) (*Client, error) {
 	if cfg.BaseBackoff == 0 {
 		cfg.BaseBackoff = 50 * time.Millisecond
 	}
+	if cfg.MaxRetryAfter == 0 {
+		cfg.MaxRetryAfter = 30 * time.Second
+	}
+	if cfg.Encoding != EncodePNG && cfg.Encoding != EncodeRawF32 {
+		return nil, fmt.Errorf("llmclient: unknown image encoding %d", int(cfg.Encoding))
+	}
 	return &Client{cfg: cfg}, nil
 }
 
@@ -69,10 +95,20 @@ type StatusError struct {
 	StatusCode int
 	Type       string
 	Message    string
+	// RequestID is the server-assigned request ID from the error body,
+	// when present — it makes retries traceable in chaos mode.
+	RequestID string
+	// RetryAfter is the server's Retry-After delay; meaningful only when
+	// HasRetryAfter is set (zero is a valid "retry immediately").
+	RetryAfter    time.Duration
+	HasRetryAfter bool
 }
 
 // Error formats the status error.
 func (e *StatusError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("llmclient: server returned %d (%s) for request %s: %s", e.StatusCode, e.Type, e.RequestID, e.Message)
+	}
 	return fmt.Sprintf("llmclient: server returned %d (%s): %s", e.StatusCode, e.Type, e.Message)
 }
 
@@ -108,21 +144,82 @@ func (c *Client) Models(ctx context.Context) ([]string, error) {
 
 func decodeError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	se := &StatusError{StatusCode: resp.StatusCode, Type: "unknown", Message: string(body)}
 	var er llmserve.ErrorResponse
 	if err := json.Unmarshal(body, &er); err == nil && er.Error.Message != "" {
-		return &StatusError{StatusCode: resp.StatusCode, Type: er.Error.Type, Message: er.Error.Message}
+		se.Type = er.Error.Type
+		se.Message = er.Error.Message
+		se.RequestID = er.Error.RequestID
 	}
-	return &StatusError{StatusCode: resp.StatusCode, Type: "unknown", Message: string(body)}
+	// Only delta-seconds Retry-After (what llmserve sends); HTTP-date
+	// values are ignored and fall back to backoff.
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+			se.HasRetryAfter = true
+		}
+	}
+	return se
+}
+
+// imagePart encodes the image in the client's configured wire format.
+func (c *Client) imagePart(img *render.Image) (llmserve.ContentPart, error) {
+	if c.cfg.Encoding == EncodeRawF32 {
+		return llmserve.ContentPart{
+			Type:           "image_f32",
+			Width:          img.W,
+			Height:         img.H,
+			ImageF32Base64: base64.StdEncoding.EncodeToString(img.EncodeRawF32()),
+		}, nil
+	}
+	var png bytes.Buffer
+	if err := img.EncodePNG(&png); err != nil {
+		return llmserve.ContentPart{}, err
+	}
+	return llmserve.ContentPart{
+		Type:           "image_png",
+		ImagePNGBase64: base64.StdEncoding.EncodeToString(png.Bytes()),
+	}, nil
+}
+
+// retryDelay picks the next retry sleep: the server's Retry-After when
+// the last 429 carried a positive one (capped at maxRetryAfter so a
+// hostile or misconfigured server cannot park the client; the cap is
+// jittered since every client hitting it would otherwise retry in
+// lockstep), otherwise the current backoff with full jitter in
+// [backoff/2, backoff] to decorrelate retry storms across concurrent
+// requests. A Retry-After of 0 is treated as "no pacing guidance", not
+// "hammer immediately" — the jittered backoff still applies, so a
+// fleet of clients never synchronizes into zero-delay retries.
+func retryDelay(backoff time.Duration, lastErr error, maxRetryAfter time.Duration) time.Duration {
+	var se *StatusError
+	if isStatusError(lastErr, &se) && se.StatusCode == http.StatusTooManyRequests && se.HasRetryAfter && se.RetryAfter > 0 {
+		if se.RetryAfter > maxRetryAfter {
+			return jitter(maxRetryAfter)
+		}
+		return se.RetryAfter
+	}
+	return jitter(backoff)
+}
+
+// jitter spreads a delay over [d/2, d].
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
 // Ask sends one prompt+image completion request and returns the reply
-// text, retrying retryable failures with exponential backoff.
+// text, retrying retryable failures with jittered exponential backoff
+// (or the server's Retry-After on 429).
 func (c *Client) Ask(ctx context.Context, model vlm.ModelID, img *render.Image, promptText string, temperature, topP float64, nonce int64) (string, error) {
 	if img == nil {
 		return "", fmt.Errorf("llmclient: nil image")
 	}
-	var png bytes.Buffer
-	if err := img.EncodePNG(&png); err != nil {
+	part, err := c.imagePart(img)
+	if err != nil {
 		return "", fmt.Errorf("llmclient: %w", err)
 	}
 	body := llmserve.ChatRequest{
@@ -134,7 +231,7 @@ func (c *Client) Ask(ctx context.Context, model vlm.ModelID, img *render.Image, 
 			Role: "user",
 			Content: []llmserve.ContentPart{
 				{Type: "text", Text: promptText},
-				{Type: "image_png", ImagePNGBase64: base64.StdEncoding.EncodeToString(png.Bytes())},
+				part,
 			},
 		}},
 	}
@@ -150,7 +247,7 @@ func (c *Client) Ask(ctx context.Context, model vlm.ModelID, img *render.Image, 
 			select {
 			case <-ctx.Done():
 				return "", fmt.Errorf("llmclient: %w (last error: %v)", ctx.Err(), lastErr)
-			case <-time.After(backoff):
+			case <-time.After(retryDelay(backoff, lastErr, c.cfg.MaxRetryAfter)):
 			}
 			backoff *= 2
 		}
@@ -265,38 +362,4 @@ func (c *Client) Classify(ctx context.Context, model vlm.ModelID, img *render.Im
 		answers[i] = one[0]
 	}
 	return answers, nil
-}
-
-// BatchResult is one image's classification outcome in a batch sweep.
-type BatchResult struct {
-	// Index is the position in the input slice.
-	Index int
-	// Answers are the per-indicator answers (nil on error).
-	Answers []bool
-	// Err is the per-image failure, if any.
-	Err error
-}
-
-// ClassifyBatch sweeps a set of images through the model with bounded
-// concurrency, returning results indexed like the input. Concurrency
-// must be >= 1.
-func (c *Client) ClassifyBatch(ctx context.Context, model vlm.ModelID, images []*render.Image, inds []scene.Indicator, opts ClassifyOptions, concurrency int) ([]BatchResult, error) {
-	if concurrency < 1 {
-		return nil, fmt.Errorf("llmclient: concurrency must be >= 1, got %d", concurrency)
-	}
-	results := make([]BatchResult, len(images))
-	sem := make(chan struct{}, concurrency)
-	var wg sync.WaitGroup
-	for i := range images {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			answers, err := c.Classify(ctx, model, images[i], inds, opts)
-			results[i] = BatchResult{Index: i, Answers: answers, Err: err}
-		}(i)
-	}
-	wg.Wait()
-	return results, nil
 }

@@ -3,6 +3,7 @@ package llmclient
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -157,7 +158,9 @@ func TestClassifyMatchesDirectModel(t *testing.T) {
 func TestRetriesOn429(t *testing.T) {
 	// ~50% of requests fail with 429; retries must still land every call.
 	ts, _ := startServer(t, llmserve.Config{Failures: llmserve.FailureConfig{Prob429: 0.5, Seed: 7}})
-	c, err := New(Config{BaseURL: ts.URL, MaxRetries: 10, BaseBackoff: time.Millisecond})
+	// MaxRetryAfter caps the server's default 1s Retry-After so the test
+	// exercises many retries without real sleeps.
+	c, err := New(Config{BaseURL: ts.URL, MaxRetries: 10, BaseBackoff: time.Millisecond, MaxRetryAfter: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,35 +218,147 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
-func TestClassifyBatch(t *testing.T) {
-	ts, _ := startServer(t, llmserve.Config{})
-	c := testClient(t, ts.URL)
-	_, imgs := testImages(t, 8)
-	inds := scene.Indicators()
-	results, err := c.ClassifyBatch(context.Background(), vlm.ChatGPT4oMini, imgs, inds[:], ClassifyOptions{}, 4)
-	if err != nil {
-		t.Fatalf("ClassifyBatch: %v", err)
-	}
-	if len(results) != 8 {
-		t.Fatalf("results = %d", len(results))
-	}
-	for i, r := range results {
-		if r.Err != nil {
-			t.Errorf("image %d: %v", i, r.Err)
-		}
-		if r.Index != i || len(r.Answers) != 6 {
-			t.Errorf("result %d malformed: %+v", i, r)
-		}
-	}
-	if _, err := c.ClassifyBatch(context.Background(), vlm.ChatGPT4oMini, imgs, inds[:], ClassifyOptions{}, 0); err == nil {
-		t.Error("zero concurrency accepted")
-	}
-}
-
 func TestStatusErrorMessage(t *testing.T) {
 	e := &StatusError{StatusCode: 429, Type: "quota_exceeded", Message: "slow down"}
 	if got := e.Error(); got == "" || !contains(got, "429") || !contains(got, "slow down") {
 		t.Errorf("Error() = %q", got)
+	}
+	e.RequestID = "req-000042"
+	if got := e.Error(); !contains(got, "req-000042") {
+		t.Errorf("Error() = %q, want request ID included", got)
+	}
+}
+
+// TestRetryDelayJitterBounds: without a Retry-After, the delay is the
+// current backoff with full jitter in [backoff/2, backoff].
+func TestRetryDelayJitterBounds(t *testing.T) {
+	backoff := 80 * time.Millisecond
+	lastErr := &StatusError{StatusCode: 500}
+	sawBelowBackoff := false
+	for i := 0; i < 200; i++ {
+		d := retryDelay(backoff, lastErr, 30*time.Second)
+		if d < backoff/2 || d > backoff {
+			t.Fatalf("delay %v outside [%v, %v]", d, backoff/2, backoff)
+		}
+		if d < backoff {
+			sawBelowBackoff = true
+		}
+	}
+	if !sawBelowBackoff {
+		t.Error("200 jittered delays all equal to backoff — jitter looks absent")
+	}
+	if d := retryDelay(0, lastErr, 30*time.Second); d != 0 {
+		t.Errorf("zero backoff delay = %v", d)
+	}
+}
+
+// TestRetryDelayHonorsRetryAfter: a 429 carrying Retry-After overrides
+// the backoff schedule, capped at MaxRetryAfter; non-429s ignore it.
+func TestRetryDelayHonorsRetryAfter(t *testing.T) {
+	after := &StatusError{StatusCode: 429, RetryAfter: 2 * time.Second, HasRetryAfter: true}
+	if d := retryDelay(time.Millisecond, after, 30*time.Second); d != 2*time.Second {
+		t.Errorf("delay = %v, want server's 2s", d)
+	}
+	// Above the cap, the delay is the jittered cap — clients that all
+	// hit the ceiling must not retry in lockstep.
+	if d := retryDelay(time.Millisecond, after, time.Second); d < 500*time.Millisecond || d > time.Second {
+		t.Errorf("capped delay = %v, want jittered cap in [500ms, 1s]", d)
+	}
+	// Retry-After 0 is "no pacing guidance": the jittered backoff still
+	// applies so clients never synchronize into zero-delay retries.
+	immediate := &StatusError{StatusCode: 429, RetryAfter: 0, HasRetryAfter: true}
+	if d := retryDelay(10*time.Millisecond, immediate, 30*time.Second); d < 5*time.Millisecond || d > 10*time.Millisecond {
+		t.Errorf("Retry-After 0 delay = %v, want jittered backoff in [5ms, 10ms]", d)
+	}
+	// A 500 with a (nonsensical) Retry-After still uses backoff.
+	ignored := &StatusError{StatusCode: 500, RetryAfter: time.Hour, HasRetryAfter: true}
+	if d := retryDelay(10*time.Millisecond, ignored, 30*time.Second); d > 10*time.Millisecond {
+		t.Errorf("non-429 delay = %v, want backoff-bounded", d)
+	}
+}
+
+// TestHonorsServerRetryAfterOverBackoff: the server advertises
+// Retry-After: 1 on injected 429s; a client with a pathological base
+// backoff (first jittered sleep >= 15s) must follow the header and
+// finish fast instead of sleeping out the doubling schedule.
+func TestHonorsServerRetryAfterOverBackoff(t *testing.T) {
+	ts, _ := startServer(t, llmserve.Config{
+		RetryAfterSeconds: 1,
+		Failures:          llmserve.FailureConfig{Prob429: 0.5, Seed: 7},
+	})
+	c, err := New(Config{BaseURL: ts.URL, MaxRetries: 20, BaseBackoff: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imgs := testImages(t, 1)
+	inds := scene.Indicators()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Classify(ctx, vlm.Gemini15Pro, imgs[0], inds[:], ClassifyOptions{}); err != nil {
+		t.Fatalf("Classify: %v (client likely ignored Retry-After and slept the backoff)", err)
+	}
+}
+
+// TestErrorBodiesCarryRequestIDs: injected failures come back with the
+// server's request ID so chaos-mode retries are traceable.
+func TestErrorBodiesCarryRequestIDs(t *testing.T) {
+	ts, _ := startServer(t, llmserve.Config{
+		Failures: llmserve.FailureConfig{Prob429: 1, Seed: 1},
+	})
+	c, err := New(Config{BaseURL: ts.URL, MaxRetries: 0, BaseBackoff: time.Millisecond, MaxRetryAfter: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imgs := testImages(t, 1)
+	_, err = c.Classify(context.Background(), vlm.Grok2, imgs[0], []scene.Indicator{scene.Sidewalk}, ClassifyOptions{})
+	var se *StatusError
+	if err == nil || !errors.As(err, &se) {
+		t.Fatalf("err = %v, want StatusError", err)
+	}
+	if se.RequestID == "" {
+		t.Error("429 body carried no request ID")
+	}
+	if !se.HasRetryAfter {
+		t.Error("429 carried no Retry-After")
+	}
+	if !contains(err.Error(), se.RequestID) {
+		t.Errorf("error text %q omits request ID %q", err.Error(), se.RequestID)
+	}
+}
+
+// TestRawF32EncodingIsLossless: with the raw-float32 image encoding the
+// server sees the exact pixels, so HTTP answers equal the in-process
+// model's on the original (un-quantized) image.
+func TestRawF32EncodingIsLossless(t *testing.T) {
+	ts, _ := startServer(t, llmserve.Config{})
+	c, err := New(Config{BaseURL: ts.URL, BaseBackoff: time.Millisecond, Encoding: EncodeRawF32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, imgs := testImages(t, 4)
+	inds := scene.Indicators()
+	p, err := vlm.ProfileFor(vlm.Grok2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := vlm.NewModel(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, img := range imgs {
+		viaHTTP, err := c.Classify(context.Background(), vlm.Grok2, img, inds[:], ClassifyOptions{})
+		if err != nil {
+			t.Fatalf("Classify: %v", err)
+		}
+		want, err := direct.Classify(vlm.Request{Image: img, Indicators: inds[:]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if viaHTTP[k] != want[k] {
+				t.Fatalf("image %d indicator %d: HTTP answer %v, direct %v", i, k, viaHTTP[k], want[k])
+			}
+		}
 	}
 }
 

@@ -1,9 +1,11 @@
 // Package llmserve hosts simulated vision LLMs behind a
 // chat-completions-style HTTP JSON API, so the evaluation pipeline
-// exercises the same code path a real deployment would: PNG images
-// uploaded as base64 content parts, prompt text parsed for language and
+// exercises the same code path a real deployment would: images uploaded
+// as base64 content parts (8-bit PNG, or a lossless raw-float32 format
+// for bit-exact remote evaluation), prompt text parsed for language and
 // questions, per-key rate limiting, and configurable failure injection
-// (429s, 500s) for resilience testing.
+// (429s with Retry-After, 500s) with traceable request IDs for
+// resilience testing.
 package llmserve
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -31,6 +34,13 @@ type ContentPart struct {
 	Text string `json:"text,omitempty"`
 	// ImagePNGBase64 is set when Type == "image_png".
 	ImagePNGBase64 string `json:"image_png_base64,omitempty"`
+	// ImageF32Base64, Width, and Height are set when Type == "image_f32":
+	// the raw little-endian float32 pixel buffer, a lossless alternative
+	// to PNG that makes remote classification bit-identical to
+	// in-process evaluation.
+	ImageF32Base64 string `json:"image_f32_base64,omitempty"`
+	Width          int    `json:"width,omitempty"`
+	Height         int    `json:"height,omitempty"`
 }
 
 // Message is one chat message.
@@ -76,6 +86,9 @@ type ErrorResponse struct {
 	Error struct {
 		Message string `json:"message"`
 		Type    string `json:"type"`
+		// RequestID identifies the failed request so client retries are
+		// traceable in chaos mode.
+		RequestID string `json:"request_id,omitempty"`
 	} `json:"error"`
 }
 
@@ -118,6 +131,13 @@ type Config struct {
 	// MaxImageBytes caps the decoded image payload; zero defaults to
 	// 8 MiB.
 	MaxImageBytes int
+	// RetryAfterSeconds is advertised in the Retry-After header on every
+	// 429 (injected failures and quota exhaustion) so well-behaved
+	// clients pace their retries. Zero defaults to 1 second — a default
+	// server never tells clients to retry with zero delay. Negative
+	// omits the header entirely (clients fall back to their own
+	// backoff).
+	RetryAfterSeconds int
 	// Failures optionally injects errors.
 	Failures FailureConfig
 }
@@ -190,18 +210,33 @@ func (s *Server) RequestsServed() int {
 	return s.served
 }
 
-func writeError(w http.ResponseWriter, status int, typ, msg string) {
+func writeError(w http.ResponseWriter, status int, typ, msg, reqID string) {
 	var body ErrorResponse
 	body.Error.Message = msg
 	body.Error.Type = typ
+	body.Error.RequestID = reqID
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(body)
 }
 
+// write429 is writeError for rate-limit responses: it advertises the
+// configured Retry-After so clients pace their retries instead of
+// hammering the doubling schedule.
+func (s *Server) write429(w http.ResponseWriter, typ, msg, reqID string) {
+	secs := s.cfg.RetryAfterSeconds
+	if secs == 0 {
+		secs = 1
+	}
+	if secs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeError(w, http.StatusTooManyRequests, typ, msg, reqID)
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use GET")
+		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use GET", "")
 		return
 	}
 	var list ModelList
@@ -218,11 +253,19 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(list)
 }
 
+// nextRequestID assigns the request's traceable ID under the server
+// lock.
+func (s *Server) nextRequestID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	return fmt.Sprintf("req-%06d", s.requests)
+}
+
 // injectFailure rolls the failure dice under the server lock.
 func (s *Server) injectFailure() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.requests++
 	roll := s.failRNG.Float64()
 	if roll < s.cfg.Failures.Prob429 {
 		return http.StatusTooManyRequests
@@ -253,46 +296,51 @@ func (s *Server) authorize(r *http.Request) bool {
 }
 
 func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+		writeError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST", reqID)
 		return
 	}
 	if !s.authorize(r) {
-		writeError(w, http.StatusUnauthorized, "authentication_error", "missing or invalid API key")
+		writeError(w, http.StatusUnauthorized, "authentication_error", "missing or invalid API key", reqID)
 		return
 	}
 	if status := s.injectFailure(); status != 0 {
-		writeError(w, status, "server_error", "injected failure")
+		if status == http.StatusTooManyRequests {
+			s.write429(w, "server_error", "injected failure", reqID)
+		} else {
+			writeError(w, status, "server_error", "injected failure", reqID)
+		}
 		return
 	}
 	s.mu.Lock()
 	if s.cfg.RequestBudget > 0 && s.served >= s.cfg.RequestBudget {
 		s.mu.Unlock()
-		writeError(w, http.StatusTooManyRequests, "quota_exceeded", "request budget exhausted")
+		s.write429(w, "quota_exceeded", "request budget exhausted", reqID)
 		return
 	}
 	s.mu.Unlock()
 
 	var req ChatRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error(), reqID)
 		return
 	}
 	model, ok := s.models[vlm.ModelID(req.Model)]
 	if !ok {
-		writeError(w, http.StatusNotFound, "model_not_found", fmt.Sprintf("unknown model %q", req.Model))
+		writeError(w, http.StatusNotFound, "model_not_found", fmt.Sprintf("unknown model %q", req.Model), reqID)
 		return
 	}
 	text, img, err := s.extractContent(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error(), reqID)
 		return
 	}
 
 	lang := prompt.DetectLanguage(text)
 	inds := prompt.QuestionsIn(text, lang)
 	if len(inds) == 0 {
-		writeError(w, http.StatusBadRequest, "invalid_request_error", "prompt contains no recognizable indicator question")
+		writeError(w, http.StatusBadRequest, "invalid_request_error", "prompt contains no recognizable indicator question", reqID)
 		return
 	}
 	mode := prompt.Parallel
@@ -309,7 +357,7 @@ func (s *Server) handleChat(w http.ResponseWriter, r *http.Request) {
 		Nonce:       req.Nonce,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		writeError(w, http.StatusBadRequest, "invalid_request_error", err.Error(), reqID)
 		return
 	}
 
@@ -361,6 +409,19 @@ func (s *Server) extractContent(req ChatRequest) (string, *render.Image, error) 
 				decoded, err := render.DecodePNG(bytes.NewReader(raw))
 				if err != nil {
 					return "", nil, fmt.Errorf("image is not valid PNG: %v", err)
+				}
+				img = decoded
+			case "image_f32":
+				raw, err := base64.StdEncoding.DecodeString(part.ImageF32Base64)
+				if err != nil {
+					return "", nil, fmt.Errorf("image is not valid base64: %v", err)
+				}
+				if len(raw) > s.cfg.MaxImageBytes {
+					return "", nil, fmt.Errorf("image payload %d bytes exceeds limit %d", len(raw), s.cfg.MaxImageBytes)
+				}
+				decoded, err := render.DecodeRawF32(part.Width, part.Height, raw)
+				if err != nil {
+					return "", nil, fmt.Errorf("image is not a valid raw f32 buffer: %v", err)
 				}
 				img = decoded
 			default:

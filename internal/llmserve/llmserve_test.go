@@ -300,3 +300,115 @@ func TestDeterministicAnswersAcrossRequests(t *testing.T) {
 		t.Errorf("identical requests got different replies: %q vs %q", a, b)
 	}
 }
+
+// TestInjected429CarriesRetryAfterAndRequestID: chaos-mode rejections
+// must be pace-able (Retry-After) and traceable (request_id).
+func TestInjected429CarriesRetryAfterAndRequestID(t *testing.T) {
+	s := testServer(t, Config{
+		RetryAfterSeconds: 2,
+		Failures:          FailureConfig{Prob429: 1, Seed: 1},
+	})
+	rec := post(t, s.Handler(), chatBody(t, string(vlm.Grok2), parallelText(t), testImagePNG(t)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(rec.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.RequestID == "" {
+		t.Error("error body has no request_id")
+	}
+	// IDs advance per request.
+	rec2 := post(t, s.Handler(), chatBody(t, string(vlm.Grok2), parallelText(t), testImagePNG(t)))
+	var er2 ErrorResponse
+	if err := json.NewDecoder(rec2.Body).Decode(&er2); err != nil {
+		t.Fatal(err)
+	}
+	if er2.Error.RequestID == er.Error.RequestID {
+		t.Errorf("request IDs did not advance: %q twice", er.Error.RequestID)
+	}
+}
+
+// TestBudget429CarriesRetryAfter: quota exhaustion is a 429 too and
+// must advertise the same pacing header.
+func TestBudget429CarriesRetryAfter(t *testing.T) {
+	s := testServer(t, Config{RequestBudget: 1, RetryAfterSeconds: 1})
+	h := s.Handler()
+	body := chatBody(t, string(vlm.Grok2), parallelText(t), testImagePNG(t))
+	if rec := post(t, h, body); rec.Code != http.StatusOK {
+		t.Fatalf("first request status = %d", rec.Code)
+	}
+	rec := post(t, h, body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-budget status = %d", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+}
+
+// TestImageF32ContentPart: the lossless image format decodes to the
+// exact uploaded pixels and classifies like any other request.
+func TestImageF32ContentPart(t *testing.T) {
+	st, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := st.RenderExamples([]int{0}, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := ex[0].Image
+	req := ChatRequest{
+		Model: string(vlm.Gemini15Pro),
+		Messages: []Message{{
+			Role: "user",
+			Content: []ContentPart{
+				{Type: "text", Text: parallelText(t)},
+				{
+					Type:           "image_f32",
+					Width:          img.W,
+					Height:         img.H,
+					ImageF32Base64: base64.StdEncoding.EncodeToString(img.EncodeRawF32()),
+				},
+			},
+		}},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testServer(t, Config{})
+	rec := post(t, s.Handler(), body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	// Mismatched dimensions are rejected.
+	req.Messages[0].Content[1].Width = img.W + 1
+	body, err = json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := post(t, s.Handler(), body); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad-size status = %d, want 400", rec.Code)
+	}
+}
+
+// TestRetryAfterDefaultsAndOmission: a default server advertises 1s
+// (never "retry immediately"); a negative config omits the header.
+func TestRetryAfterDefaultsAndOmission(t *testing.T) {
+	s := testServer(t, Config{Failures: FailureConfig{Prob429: 1, Seed: 1}})
+	rec := post(t, s.Handler(), chatBody(t, string(vlm.Grok2), parallelText(t), testImagePNG(t)))
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Errorf("default Retry-After = %q, want \"1\"", got)
+	}
+	s = testServer(t, Config{RetryAfterSeconds: -1, Failures: FailureConfig{Prob429: 1, Seed: 1}})
+	rec = post(t, s.Handler(), chatBody(t, string(vlm.Grok2), parallelText(t), testImagePNG(t)))
+	if got := rec.Header().Get("Retry-After"); got != "" {
+		t.Errorf("negative-config Retry-After = %q, want absent", got)
+	}
+}

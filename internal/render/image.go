@@ -6,6 +6,7 @@
 package render
 
 import (
+	"encoding/binary"
 	"fmt"
 	"image"
 	"image/color"
@@ -142,6 +143,46 @@ func DecodePNG(r io.Reader) (*Image, error) {
 		return nil, fmt.Errorf("render: decode png: %w", err)
 	}
 	return FromImage(img), nil
+}
+
+// EncodeRawF32 serializes the pixel buffer as little-endian float32
+// bytes — the lossless wire format the LLM API offers alongside PNG.
+// Unlike the 8-bit PNG path, a raw round trip reproduces the image
+// bit-for-bit, which is what makes remote classification reports
+// identical to in-process ones.
+func (m *Image) EncodeRawF32() []byte {
+	out := make([]byte, 4*len(m.Pix))
+	for i, v := range m.Pix {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// DecodeRawF32 rebuilds a w×h image from EncodeRawF32 bytes. Values are
+// clamped to [0,1] (NaNs become 0) so untrusted payloads cannot violate
+// the pixel invariants; in-range inputs round-trip exactly. The payload
+// length is validated against the claimed dimensions (in 64-bit, so
+// huge w×h cannot overflow) before any allocation, so a small hostile
+// request cannot make the decoder allocate gigabytes.
+func DecodeRawF32(w, h int, data []byte) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("render: image size must be positive, got %dx%d", w, h)
+	}
+	if want := 4 * int64(Channels) * int64(w) * int64(h); int64(len(data)) != want {
+		return nil, fmt.Errorf("render: raw f32 payload is %d bytes, want %d for %dx%d", len(data), want, w, h)
+	}
+	img, err := NewImage(w, h)
+	if err != nil {
+		return nil, err
+	}
+	for i := range img.Pix {
+		v := math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+		if v != v { // NaN
+			v = 0
+		}
+		img.Pix[i] = clampF32(v)
+	}
+	return img, nil
 }
 
 // Resize scales the image to (w,h) with bilinear interpolation.

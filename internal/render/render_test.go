@@ -2,6 +2,7 @@ package render
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"testing"
 	"testing/quick"
@@ -451,5 +452,46 @@ func TestRotateRectMatchesImageProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRawF32RoundTrip(t *testing.T) {
+	img := MustNewImage(5, 3)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i) / float32(len(img.Pix)) // not 8-bit representable
+	}
+	raw := img.EncodeRawF32()
+	if len(raw) != 4*len(img.Pix) {
+		t.Fatalf("raw length = %d, want %d", len(raw), 4*len(img.Pix))
+	}
+	back, err := DecodeRawF32(img.W, img.H, raw)
+	if err != nil {
+		t.Fatalf("DecodeRawF32: %v", err)
+	}
+	for i := range img.Pix {
+		if back.Pix[i] != img.Pix[i] {
+			t.Fatalf("pixel %d: %v != %v (raw round trip must be lossless)", i, back.Pix[i], img.Pix[i])
+		}
+	}
+}
+
+func TestDecodeRawF32Validation(t *testing.T) {
+	if _, err := DecodeRawF32(0, 4, nil); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := DecodeRawF32(2, 2, make([]byte, 7)); err == nil {
+		t.Error("short payload accepted")
+	}
+	// Out-of-range and NaN payload bytes are sanitized, not trusted.
+	data := make([]byte, 4*Channels*1*1)
+	binary.LittleEndian.PutUint32(data[0:], math.Float32bits(float32(math.NaN())))
+	binary.LittleEndian.PutUint32(data[4:], math.Float32bits(7.5))
+	binary.LittleEndian.PutUint32(data[8:], math.Float32bits(-3))
+	img, err := DecodeRawF32(1, 1, data)
+	if err != nil {
+		t.Fatalf("DecodeRawF32: %v", err)
+	}
+	if img.Pix[0] != 0 || img.Pix[1] != 1 || img.Pix[2] != 0 {
+		t.Errorf("sanitized pixels = %v, want [0 1 0]", img.Pix)
 	}
 }
