@@ -24,10 +24,12 @@ bench:
 
 # Short-form benchmark smoke for CI: proves the harness runs and gives a
 # perf trajectory point without the full sweep's cost. Includes the HTTP
-# backend sweep against an in-process llmserve, so the remote evaluation
-# path stays on the perf radar.
+# backend sweep against an in-process llmserve (remote evaluation path)
+# and the compute-layer microbenchmarks (batched GEMM convolution and the
+# zero-allocation training step), with -benchmem so allocation regressions
+# in the pooled hot path are visible in CI artifacts.
 bench-smoke:
-	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep' -benchtime=1x
+	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep|ConvForward|ConvBackward|TrainEpoch|DetectorForward' -benchtime=1x -benchmem
 
 fmt:
 	gofmt -w .

@@ -13,6 +13,7 @@ package nbhd
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"nbhd/internal/llmclient"
 	"nbhd/internal/llmserve"
 	"nbhd/internal/metrics"
+	"nbhd/internal/nn"
 	"nbhd/internal/prompt"
 	"nbhd/internal/render"
 	"nbhd/internal/scene"
@@ -602,6 +604,85 @@ func BenchmarkDetectorForward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := model.Detect(examples[0].Image, 0.25, 0.45); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConvForward measures one batched convolution forward pass at
+// detector-backbone scale: batch 16, 8->16 channels, 3x3 kernel, 32x32
+// spatial. Run with -benchmem: the allocation count is the scorecard for
+// the pooled compute layer.
+func BenchmarkConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(benchSeed))
+	conv, err := nn.NewConv2D(8, 16, 3, 1, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(16, 8, 32, 32)
+	x.UniformInit(1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := conv.Forward(x, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tensor.PutScratch(out)
+	}
+}
+
+// BenchmarkConvBackward measures one forward+backward convolution step at
+// the same scale (backward needs the forward caches, so each iteration
+// pays for both; subtract BenchmarkConvForward for the backward share).
+func BenchmarkConvBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(benchSeed))
+	conv, err := nn.NewConv2D(8, 16, 3, 1, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.MustNew(16, 8, 32, 32)
+	x.UniformInit(1, rng)
+	grad := tensor.MustNew(16, 16, 32, 32)
+	grad.UniformInit(1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := conv.Forward(x, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tensor.PutScratch(out)
+		gradIn, err := conv.Backward(grad)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tensor.PutScratch(gradIn)
+	}
+}
+
+// BenchmarkTrainEpoch measures one full detector training epoch (70% of
+// 100 frames at 48px, batch 16) on a persistent model — the steady-state
+// per-epoch cost of the Table I/Fig. 5 benchmarks. Run with -benchmem:
+// allocations/op is the headline number for zero-allocation training.
+func BenchmarkTrainEpoch(b *testing.B) {
+	st, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 25, Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := st.Split(dataset.PaperSplit(), benchSeed+1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := st.RenderExamples(split.Train, 48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := yolo.New(yolo.Config{InputSize: 48, Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := model.Train(train, yolo.TrainConfig{Epochs: 1, BatchSize: 16, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}

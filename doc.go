@@ -23,4 +23,14 @@
 // committees, remote HTTP models (lossless image transport makes their
 // reports bit-identical to local), the YOLO detector's presence
 // predictions, and the scene-classification CNN baseline.
+//
+// Beneath the detector sits the fast NN compute layer
+// (internal/tensor + internal/nn): register-blocked parallel GEMM
+// kernels, batched im2col convolution (one GEMM per batch), a size-keyed
+// scratch pool that makes steady-state training steps allocation-free,
+// and a stateless Infer path that lets the engine run detector/CNN
+// inference concurrently. Kernel partitioning preserves per-element
+// accumulation order, so training curves and every reported metric are
+// bit-identical to the reference implementation (see README.md's
+// performance section and the golden-curve tests).
 package nbhd

@@ -75,8 +75,9 @@ type Capabilities struct {
 	// call; values < 1 mean one frame per call.
 	PreferredBatch int
 	// MaxConcurrency caps concurrent Classify calls; zero or negative
-	// means unbounded. Backends whose forward pass keeps state (the NN
-	// models cache layer inputs) report 1.
+	// means unbounded. Every in-repo backend is now reentrant (the NN
+	// models gained a stateless inference path), so only remote adapters
+	// with connection budgets bound this.
 	MaxConcurrency int
 	// RenderSize is the square frame resolution the backend requires;
 	// zero means the engine's default (the LLM render size).

@@ -180,8 +180,8 @@ func TestYOLOAdapterMatchesDetect(t *testing.T) {
 	if caps.RenderSize != 32 {
 		t.Errorf("RenderSize = %d, want the detector's input size 32", caps.RenderSize)
 	}
-	if caps.MaxConcurrency != 1 {
-		t.Errorf("MaxConcurrency = %d, want 1 (stateful forward pass)", caps.MaxConcurrency)
+	if caps.MaxConcurrency != 0 {
+		t.Errorf("MaxConcurrency = %d, want 0 (stateless inference is unbounded)", caps.MaxConcurrency)
 	}
 	items := testItems(t, 4, 32)
 	res, err := b.Classify(context.Background(), BatchRequest{Items: items, Options: fullOptions()})
@@ -217,8 +217,8 @@ func TestCNNAdapterMatchesPredict(t *testing.T) {
 		t.Fatal(err)
 	}
 	caps := b.Capabilities()
-	if caps.RenderSize != 32 || caps.MaxConcurrency != 1 {
-		t.Errorf("caps = %+v, want RenderSize 32, MaxConcurrency 1", caps)
+	if caps.RenderSize != 32 || caps.MaxConcurrency != 0 {
+		t.Errorf("caps = %+v, want RenderSize 32, MaxConcurrency 0 (unbounded)", caps)
 	}
 	items := testItems(t, 4, 32)
 	res, err := b.Classify(context.Background(), BatchRequest{Items: items, Options: fullOptions()})

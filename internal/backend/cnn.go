@@ -3,20 +3,21 @@ package backend
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"nbhd/internal/classify"
+	"nbhd/internal/render"
 )
 
 // CNN adapts the multi-label scene-classification baseline (§IV-B3) to
 // the Backend interface: per-indicator presence probabilities from the
 // compact CNN, thresholded into Yes/No answers.
+//
+// Prediction runs on the model's stateless inference path, so the
+// adapter is reentrant (see YOLO); each Classify call is one batched
+// forward pass.
 type CNN struct {
 	model     *classify.Model
 	threshold float64
-
-	// Forward passes cache layer inputs; serialize them (see YOLO).
-	mu sync.Mutex
 }
 
 // NewCNN wraps a trained classifier. A zero threshold defaults to 0.5.
@@ -37,34 +38,37 @@ func NewCNN(m *classify.Model, threshold float64) (*CNN, error) {
 func (c *CNN) Name() string { return "cnn" }
 
 // Capabilities: the CNN needs frames at its own input resolution and
-// must run single-file.
+// tolerates unbounded concurrent Classify calls (stateless inference).
 func (c *CNN) Capabilities() Capabilities {
 	return Capabilities{
 		PreferredBatch: 16,
-		MaxConcurrency: 1,
 		RenderSize:     c.model.InputSize(),
 	}
 }
 
-// Classify predicts presence probabilities per frame and thresholds
-// them.
+// Classify predicts presence probabilities for every frame with one
+// batched forward pass and thresholds them.
 func (c *CNN) Classify(ctx context.Context, req BatchRequest) (BatchResult, error) {
-	answers := make([][]bool, len(req.Items))
+	if err := ctx.Err(); err != nil {
+		return BatchResult{}, err
+	}
+	if len(req.Items) == 0 {
+		return BatchResult{Answers: [][]bool{}}, nil
+	}
+	imgs := make([]*render.Image, len(req.Items))
 	for i := range req.Items {
-		if err := ctx.Err(); err != nil {
-			return BatchResult{}, err
-		}
-		it := &req.Items[i]
-		c.mu.Lock()
-		probs, err := c.model.Predict(it.Image)
-		c.mu.Unlock()
-		if err != nil {
-			return BatchResult{}, fmt.Errorf("backend: cnn: predict %s: %w", it.ID, err)
-		}
+		imgs[i] = req.Items[i].Image
+	}
+	probs, err := c.model.PredictBatch(imgs)
+	if err != nil {
+		return BatchResult{}, fmt.Errorf("backend: cnn: predict batch starting at %s: %w", req.Items[0].ID, err)
+	}
+	answers := make([][]bool, len(req.Items))
+	for i := range probs {
 		ans := make([]bool, len(req.Options.Indicators))
 		for k, ind := range req.Options.Indicators {
 			if idx := ind.Index(); idx >= 0 {
-				ans[k] = probs[idx] >= c.threshold
+				ans[k] = probs[i][idx] >= c.threshold
 			}
 		}
 		answers[i] = ans

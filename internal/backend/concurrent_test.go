@@ -1,0 +1,74 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"nbhd/internal/classify"
+	"nbhd/internal/yolo"
+)
+
+// TestNNBackendsConcurrentClassify drives many concurrent Classify calls
+// through one YOLO backend and one CNN backend at once — under -race
+// this is the proof that the NN models' stateless inference path lets
+// the evaluation engine fan detector/classifier inference across its
+// worker pool without a serializing mutex. Answers must also be
+// identical across every concurrent call.
+func TestNNBackendsConcurrentClassify(t *testing.T) {
+	ym, err := yolo.New(yolo.Config{InputSize: 32, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := NewYOLO(ym, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := classify.New(classify.Config{InputSize: 32, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewCNN(cm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := testItems(t, 8, 32)
+	req := BatchRequest{Items: items, Options: fullOptions()}
+	ctx := context.Background()
+
+	baseline := map[string]BatchResult{}
+	for _, b := range []Backend{yb, cb} {
+		res, err := b.Classify(ctx, req)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", b.Name(), err)
+		}
+		baseline[b.Name()] = res
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		for _, b := range []Backend{yb, cb} {
+			wg.Add(1)
+			go func(b Backend) {
+				defer wg.Done()
+				for iter := 0; iter < 5; iter++ {
+					res, err := b.Classify(ctx, req)
+					if err != nil {
+						t.Errorf("%s: %v", b.Name(), err)
+						return
+					}
+					want := baseline[b.Name()]
+					for i := range want.Answers {
+						for k := range want.Answers[i] {
+							if res.Answers[i][k] != want.Answers[i][k] {
+								t.Errorf("%s: concurrent answer diverged at item %d indicator %d", b.Name(), i, k)
+								return
+							}
+						}
+					}
+				}
+			}(b)
+		}
+	}
+	wg.Wait()
+}

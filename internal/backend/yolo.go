@@ -3,8 +3,8 @@ package backend
 import (
 	"context"
 	"fmt"
-	"sync"
 
+	"nbhd/internal/render"
 	"nbhd/internal/scene"
 	"nbhd/internal/yolo"
 )
@@ -14,16 +14,15 @@ import (
 // indicator is predicted present when any detection of that class clears
 // the score threshold — the comparison the paper's Fig. 5 makes between
 // YOLOv11 and the LLMs.
+//
+// Detection runs on the model's stateless inference path, so the adapter
+// is fully reentrant: the engine fans concurrent Classify calls across
+// its worker pool, and each call is one batched forward pass over the
+// whole request.
 type YOLO struct {
 	model       *yolo.Model
 	scoreThresh float64
 	nmsIoU      float64
-
-	// The NN forward pass caches layer inputs, so Detect is not safe to
-	// call concurrently on one model; the mutex makes the adapter safe
-	// regardless of how it is driven (the capability hint keeps the
-	// engine from queuing on it).
-	mu sync.Mutex
 }
 
 // NewYOLO wraps a trained detector. Zero thresholds default to the
@@ -48,30 +47,35 @@ func NewYOLO(m *yolo.Model, scoreThresh, nmsIoU float64) (*YOLO, error) {
 func (y *YOLO) Name() string { return "yolo" }
 
 // Capabilities: the detector needs frames at its own input resolution,
-// does not consume perception features, and must run single-file.
+// does not consume perception features, and — because inference is
+// stateless and reentrant — tolerates unbounded concurrent Classify
+// calls.
 func (y *YOLO) Capabilities() Capabilities {
 	return Capabilities{
 		PreferredBatch: 16,
-		MaxConcurrency: 1,
 		RenderSize:     y.model.InputSize(),
 	}
 }
 
-// Classify detects objects in each frame and reports per-indicator
-// presence.
+// Classify detects objects in every frame with one batched forward pass
+// and reports per-indicator presence.
 func (y *YOLO) Classify(ctx context.Context, req BatchRequest) (BatchResult, error) {
-	answers := make([][]bool, len(req.Items))
+	if err := ctx.Err(); err != nil {
+		return BatchResult{}, err
+	}
+	if len(req.Items) == 0 {
+		return BatchResult{Answers: [][]bool{}}, nil
+	}
+	imgs := make([]*render.Image, len(req.Items))
 	for i := range req.Items {
-		if err := ctx.Err(); err != nil {
-			return BatchResult{}, err
-		}
-		it := &req.Items[i]
-		y.mu.Lock()
-		dets, err := y.model.Detect(it.Image, y.scoreThresh, y.nmsIoU)
-		y.mu.Unlock()
-		if err != nil {
-			return BatchResult{}, fmt.Errorf("backend: yolo: detect %s: %w", it.ID, err)
-		}
+		imgs[i] = req.Items[i].Image
+	}
+	batchDets, err := y.model.DetectBatch(imgs, y.scoreThresh, y.nmsIoU)
+	if err != nil {
+		return BatchResult{}, fmt.Errorf("backend: yolo: detect batch starting at %s: %w", req.Items[0].ID, err)
+	}
+	answers := make([][]bool, len(req.Items))
+	for i, dets := range batchDets {
 		var present [scene.NumIndicators]bool
 		for _, d := range dets {
 			if idx := d.Class.Index(); idx >= 0 {

@@ -53,7 +53,9 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Model is the multi-label presence classifier.
+// Model is the multi-label presence classifier. Training is
+// single-threaded; Predict/PredictBatch run on the stateless nn.Infer
+// path and are safe for concurrent use (not concurrently with Train).
 type Model struct {
 	cfg Config
 	net *nn.Sequential
@@ -99,18 +101,36 @@ func (m *Model) InputSize() int { return m.cfg.InputSize }
 // ParamCount returns the number of trainable scalars.
 func (m *Model) ParamCount() int { return m.net.ParamCount() }
 
-// batchTensors packs examples into input and target tensors.
-func (m *Model) batchTensors(batch []dataset.Example) (*tensor.Tensor, *tensor.Tensor, error) {
+// batchInput packs images into a pooled NCHW scratch tensor the caller
+// must hand back via tensor.PutScratch.
+func (m *Model) batchInput(images []*render.Image) (*tensor.Tensor, error) {
 	s := m.cfg.InputSize
-	x := tensor.MustNew(len(batch), render.Channels, s, s)
-	y := tensor.MustNew(len(batch), scene.NumIndicators)
+	x := tensor.GetScratch(len(images), render.Channels, s, s)
 	per := render.Channels * s * s
-	for i := range batch {
-		img := batch[i].Image
+	for i, img := range images {
 		if img.W != s || img.H != s {
-			return nil, nil, fmt.Errorf("classify: image %d is %dx%d, model expects %dx%d", i, img.W, img.H, s, s)
+			tensor.PutScratch(x)
+			return nil, fmt.Errorf("classify: image %d is %dx%d, model expects %dx%d", i, img.W, img.H, s, s)
 		}
 		copy(x.Data[i*per:(i+1)*per], img.Pix)
+	}
+	return x, nil
+}
+
+// batchTensors packs examples into pooled input and target tensors; both
+// go back to the scratch pool after the step.
+func (m *Model) batchTensors(batch []dataset.Example, images []*render.Image) (*tensor.Tensor, *tensor.Tensor, error) {
+	images = images[:0]
+	for i := range batch {
+		images = append(images, batch[i].Image)
+	}
+	x, err := m.batchInput(images)
+	if err != nil {
+		return nil, nil, err
+	}
+	y := tensor.GetScratch(len(batch), scene.NumIndicators)
+	y.Zero()
+	for i := range batch {
 		pres := batch[i].Presence()
 		for k := 0; k < scene.NumIndicators; k++ {
 			if pres[k] {
@@ -166,6 +186,8 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 	for i := range order {
 		order[i] = i
 	}
+	batch := make([]dataset.Example, 0, cfg.BatchSize)
+	images := make([]*render.Image, 0, cfg.BatchSize)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		var epochLoss float64
@@ -175,30 +197,12 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 			if end > len(order) {
 				end = len(order)
 			}
-			batch := make([]dataset.Example, 0, end-start)
+			batch = batch[:0]
 			for _, idx := range order[start:end] {
 				batch = append(batch, examples[idx])
 			}
-			x, y, err := m.batchTensors(batch)
+			loss, err := m.trainStep(batch, images, opt)
 			if err != nil {
-				return err
-			}
-			out, err := m.net.Forward(x, true)
-			if err != nil {
-				return fmt.Errorf("classify: forward: %w", err)
-			}
-			loss, grad, err := nn.BCEWithLogits(out, y, nil)
-			if err != nil {
-				return fmt.Errorf("classify: loss: %w", err)
-			}
-			m.net.ZeroGrads()
-			if _, err := m.net.Backward(grad); err != nil {
-				return fmt.Errorf("classify: backward: %w", err)
-			}
-			if _, err := nn.ClipGradNorm(m.net.Params(), 10); err != nil {
-				return err
-			}
-			if err := opt.Step(m.net.Params()); err != nil {
 				return err
 			}
 			epochLoss += loss
@@ -211,40 +215,120 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 	return nil
 }
 
-// Predict returns per-indicator presence probabilities for one image.
+// trainStep runs one optimizer update on a batch; all tensors cycle
+// through the scratch pool, keeping steady-state steps allocation-free.
+func (m *Model) trainStep(batch []dataset.Example, images []*render.Image, opt nn.Optimizer) (float64, error) {
+	x, y, err := m.batchTensors(batch, images)
+	if err != nil {
+		return 0, err
+	}
+	release := func() {
+		tensor.PutScratch(x)
+		tensor.PutScratch(y)
+	}
+	out, err := m.net.Forward(x, true)
+	if err != nil {
+		release()
+		return 0, fmt.Errorf("classify: forward: %w", err)
+	}
+	grad := tensor.GetScratch(out.Shape...)
+	loss, err := nn.BCEWithLogitsInto(grad, out, y, nil)
+	if err != nil {
+		release()
+		tensor.PutScratch(grad)
+		return 0, fmt.Errorf("classify: loss: %w", err)
+	}
+	m.net.ZeroGrads()
+	gradIn, err := m.net.Backward(grad)
+	tensor.PutScratch(grad)
+	release()
+	if err != nil {
+		return 0, fmt.Errorf("classify: backward: %w", err)
+	}
+	tensor.PutScratch(gradIn)
+	if _, err := nn.ClipGradNorm(m.net.Params(), 10); err != nil {
+		return 0, err
+	}
+	if err := opt.Step(m.net.Params()); err != nil {
+		return 0, err
+	}
+	return loss, nil
+}
+
+// Predict returns per-indicator presence probabilities for one image. It
+// is safe for concurrent use.
 func (m *Model) Predict(img *render.Image) ([scene.NumIndicators]float64, error) {
-	var out [scene.NumIndicators]float64
-	x, _, err := m.batchTensors([]dataset.Example{{Image: img}})
+	probs, err := m.PredictBatch([]*render.Image{img})
 	if err != nil {
-		return out, err
+		return [scene.NumIndicators]float64{}, err
 	}
-	logits, err := m.net.Forward(x, false)
+	return probs[0], nil
+}
+
+// PredictBatch returns presence probabilities for several images from
+// one batched forward pass — bit-identical to per-image Predict but a
+// single GEMM per layer. It runs on the stateless inference path, so
+// concurrent calls on one model are safe.
+func (m *Model) PredictBatch(images []*render.Image) ([][scene.NumIndicators]float64, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("classify: empty batch")
+	}
+	x, err := m.batchInput(images)
 	if err != nil {
-		return out, fmt.Errorf("classify: forward: %w", err)
+		return nil, err
 	}
-	probs := nn.Sigmoid(logits)
-	for k := 0; k < scene.NumIndicators; k++ {
-		out[k] = float64(probs.At(0, k))
+	logits, err := m.net.Infer(x)
+	if err != nil {
+		tensor.PutScratch(x)
+		return nil, fmt.Errorf("classify: forward: %w", err)
 	}
+	out := make([][scene.NumIndicators]float64, len(images))
+	for i := range images {
+		for k := 0; k < scene.NumIndicators; k++ {
+			out[i][k] = float64(nn.Sigmoid32(logits.At(i, k)))
+		}
+	}
+	// Infer may return its input unchanged (identity networks), so guard
+	// against recycling the same tensor twice.
+	if logits != x {
+		tensor.PutScratch(logits)
+	}
+	tensor.PutScratch(x)
 	return out, nil
 }
 
-// Evaluate scores the classifier's thresholded presence predictions.
+// evalBatchSize is the inference batch width used by Evaluate.
+const evalBatchSize = 16
+
+// Evaluate scores the classifier's thresholded presence predictions,
+// predicting in batches of evalBatchSize; results are bit-identical to
+// the per-image sweep.
 func (m *Model) Evaluate(examples []dataset.Example, threshold float64) (*metrics.ClassReport, error) {
 	if threshold <= 0 || threshold >= 1 {
 		return nil, fmt.Errorf("classify: threshold %f outside (0,1)", threshold)
 	}
 	var report metrics.ClassReport
-	for i := range examples {
-		probs, err := m.Predict(examples[i].Image)
+	imgs := make([]*render.Image, 0, evalBatchSize)
+	for start := 0; start < len(examples); start += evalBatchSize {
+		end := start + evalBatchSize
+		if end > len(examples) {
+			end = len(examples)
+		}
+		imgs = imgs[:0]
+		for i := start; i < end; i++ {
+			imgs = append(imgs, examples[i].Image)
+		}
+		probs, err := m.PredictBatch(imgs)
 		if err != nil {
-			return nil, fmt.Errorf("classify: evaluate %s: %w", examples[i].ID, err)
+			return nil, fmt.Errorf("classify: evaluate batch starting at %s: %w", examples[start].ID, err)
 		}
-		var pred [scene.NumIndicators]bool
 		for k := range probs {
-			pred[k] = probs[k] >= threshold
+			var pred [scene.NumIndicators]bool
+			for j := range probs[k] {
+				pred[j] = probs[k][j] >= threshold
+			}
+			report.AddVector(pred, examples[start+k].Presence())
 		}
-		report.AddVector(pred, examples[i].Presence())
 	}
 	return &report, nil
 }

@@ -19,6 +19,7 @@ import (
 	"nbhd/internal/labelme"
 	"nbhd/internal/metrics"
 	"nbhd/internal/prompt"
+	"nbhd/internal/render"
 	"nbhd/internal/scene"
 	"nbhd/internal/vlm"
 	"nbhd/internal/yolo"
@@ -197,21 +198,35 @@ func (p *Pipeline) EvaluateDetector(model *yolo.Model, test []dataset.Example) (
 // DetectorPresenceReport converts detections to image-level presence
 // predictions (an indicator is "present" when any detection of that class
 // clears the score threshold) and scores them like an LLM — the
-// comparison Fig. 5 makes between YOLOv11 and the LLMs.
+// comparison Fig. 5 makes between YOLOv11 and the LLMs. Frames run
+// through the detector's batched inference path in chunks; results are
+// bit-identical to the per-frame sweep.
 func (p *Pipeline) DetectorPresenceReport(model *yolo.Model, examples []dataset.Example, scoreThresh float64) (*metrics.ClassReport, error) {
+	const chunk = 16
 	var report metrics.ClassReport
-	for i := range examples {
-		dets, err := model.Detect(examples[i].Image, scoreThresh, 0.45)
+	imgs := make([]*render.Image, 0, chunk)
+	for start := 0; start < len(examples); start += chunk {
+		end := start + chunk
+		if end > len(examples) {
+			end = len(examples)
+		}
+		imgs = imgs[:0]
+		for i := start; i < end; i++ {
+			imgs = append(imgs, examples[i].Image)
+		}
+		batchDets, err := model.DetectBatch(imgs, scoreThresh, 0.45)
 		if err != nil {
-			return nil, fmt.Errorf("core: detect %s: %w", examples[i].ID, err)
+			return nil, fmt.Errorf("core: detect batch starting at %s: %w", examples[start].ID, err)
 		}
-		var pred [scene.NumIndicators]bool
-		for _, d := range dets {
-			if idx := d.Class.Index(); idx >= 0 {
-				pred[idx] = true
+		for k, dets := range batchDets {
+			var pred [scene.NumIndicators]bool
+			for _, d := range dets {
+				if idx := d.Class.Index(); idx >= 0 {
+					pred[idx] = true
+				}
 			}
+			report.AddVector(pred, examples[start+k].Presence())
 		}
-		report.AddVector(pred, examples[i].Presence())
 	}
 	return &report, nil
 }

@@ -7,8 +7,19 @@ import (
 	"nbhd/internal/tensor"
 )
 
-// Conv2D is a 2-D convolution over NCHW tensors, implemented with im2col
-// and the tensor package's matrix multiply.
+// Conv2D is a 2-D convolution over NCHW tensors, implemented with
+// batched im2col: the whole batch unrolls into ONE (Cin*K*K, N*outH*outW)
+// matrix and the forward pass is a single GEMM against the weight matrix,
+// instead of N small per-sample multiplies. im2col, col2im, and the
+// output scatter fan across workers per sample; all scratch comes from
+// the shared tensor pool and is released when Backward completes, so
+// nothing im2col-sized survives the training step.
+//
+// Bit-identity: each output element's dot product walks the Cin*K*K
+// (forward) or OutChannels (input-gradient) axis in the same order as the
+// per-sample reference, and the weight gradient uses the segmented-fold
+// GEMM so per-sample partial sums accumulate in sample order — exactly
+// the float ordering of the historical per-sample loop.
 type Conv2D struct {
 	InChannels, OutChannels int
 	KernelSize, Stride, Pad int
@@ -16,11 +27,18 @@ type Conv2D struct {
 	weight *Param // (OutChannels, InChannels*K*K)
 	bias   *Param // (OutChannels)
 
-	// Forward cache.
-	input *tensor.Tensor
-	cols  []*tensor.Tensor // one im2col matrix per batch sample
-	outH  int
-	outW  int
+	// Training cache: the batched im2col matrix (released to the scratch
+	// pool in Backward) and the dims Backward needs. No reference to the
+	// input batch is retained.
+	cols          *tensor.Tensor // (Cin*K*K, N*outH*outW)
+	inN, inH, inW int
+	outH, outW    int
+}
+
+// convDims carries one pass's geometry so the inference path can share
+// the im2col/scatter kernels without touching the training cache.
+type convDims struct {
+	n, h, w, outH, outW int
 }
 
 // NewConv2D constructs a convolution with He initialization.
@@ -58,155 +76,258 @@ func (c *Conv2D) OutSize(in int) int {
 	return (in+2*c.Pad-c.KernelSize)/c.Stride + 1
 }
 
-// Forward computes the convolution for a batch (N, Cin, H, W).
-func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+// checkInput validates an NCHW input batch and derives the geometry.
+func (c *Conv2D) checkInput(x *tensor.Tensor) (convDims, error) {
 	if len(x.Shape) != 4 {
-		return nil, fmt.Errorf("nn: conv expects NCHW input, got shape %v", x.Shape)
+		return convDims{}, fmt.Errorf("nn: conv expects NCHW input, got shape %v", x.Shape)
 	}
 	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if ch != c.InChannels {
-		return nil, fmt.Errorf("nn: conv expects %d input channels, got %d", c.InChannels, ch)
+		return convDims{}, fmt.Errorf("nn: conv expects %d input channels, got %d", c.InChannels, ch)
 	}
 	outH, outW := c.OutSize(h), c.OutSize(w)
 	if outH <= 0 || outW <= 0 {
-		return nil, fmt.Errorf("nn: conv output degenerate for input %dx%d (k=%d s=%d p=%d)", h, w, c.KernelSize, c.Stride, c.Pad)
+		return convDims{}, fmt.Errorf("nn: conv output degenerate for input %dx%d (k=%d s=%d p=%d)", h, w, c.KernelSize, c.Stride, c.Pad)
 	}
-	c.input = x
-	c.outH, c.outW = outH, outW
-	c.cols = make([]*tensor.Tensor, n)
-	out := tensor.MustNew(n, c.OutChannels, outH, outW)
-	for s := 0; s < n; s++ {
-		col := c.im2col(x, s, h, w, outH, outW)
-		c.cols[s] = col
-		prod, err := tensor.MatMul(c.weight.Value, col) // (outC, outH*outW)
-		if err != nil {
-			return nil, fmt.Errorf("nn: conv forward: %w", err)
-		}
-		dst := out.Data[s*c.OutChannels*outH*outW : (s+1)*c.OutChannels*outH*outW]
-		copy(dst, prod.Data)
-		// Add bias per output channel.
-		for oc := 0; oc < c.OutChannels; oc++ {
-			bv := c.bias.Value.Data[oc]
-			seg := dst[oc*outH*outW : (oc+1)*outH*outW]
-			for i := range seg {
-				seg[i] += bv
-			}
-		}
+	return convDims{n: n, h: h, w: w, outH: outH, outW: outW}, nil
+}
+
+// forwardCompute runs the batched im2col + GEMM + bias pipeline and
+// returns the output and the im2col matrix (both scratch tensors).
+func (c *Conv2D) forwardCompute(x *tensor.Tensor, d convDims) (out, cols *tensor.Tensor, err error) {
+	k := c.KernelSize
+	cols = tensor.GetScratch(c.InChannels*k*k, d.n*d.outH*d.outW)
+	c.im2colBatch(x, cols, d)
+	gemm := tensor.GetScratch(c.OutChannels, d.n*d.outH*d.outW)
+	if err := tensor.MatMulInto(gemm, c.weight.Value, cols); err != nil {
+		tensor.PutScratch(cols)
+		tensor.PutScratch(gemm)
+		return nil, nil, fmt.Errorf("nn: conv forward: %w", err)
 	}
+	out = tensor.GetScratch(d.n, c.OutChannels, d.outH, d.outW)
+	c.scatterOutput(gemm, out, d)
+	tensor.PutScratch(gemm)
+	return out, cols, nil
+}
+
+// Forward computes the convolution for a batch (N, Cin, H, W), caching
+// the im2col matrix for Backward.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	d, err := c.checkInput(x)
+	if err != nil {
+		return nil, err
+	}
+	if c.cols != nil {
+		// A forward without an intervening backward: recycle the stale
+		// cache instead of stranding it.
+		tensor.PutScratch(c.cols)
+		c.cols = nil
+	}
+	out, cols, err := c.forwardCompute(x, d)
+	if err != nil {
+		return nil, err
+	}
+	c.cols = cols
+	c.inN, c.inH, c.inW = d.n, d.h, d.w
+	c.outH, c.outW = d.outH, d.outW
 	return out, nil
 }
 
-// im2col unrolls one sample's receptive fields into a
-// (Cin*K*K, outH*outW) matrix.
-func (c *Conv2D) im2col(x *tensor.Tensor, sample, h, w, outH, outW int) *tensor.Tensor {
-	k := c.KernelSize
-	col := tensor.MustNew(c.InChannels*k*k, outH*outW)
-	chStride := h * w
-	base := sample * c.InChannels * chStride
-	row := 0
-	for ci := 0; ci < c.InChannels; ci++ {
-		for ky := 0; ky < k; ky++ {
-			for kx := 0; kx < k; kx++ {
-				dst := col.Data[row*outH*outW : (row+1)*outH*outW]
-				idx := 0
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*c.Stride - c.Pad + ky
-					if iy < 0 || iy >= h {
-						idx += outW
-						continue
-					}
-					srcRow := base + ci*chStride + iy*w
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*c.Stride - c.Pad + kx
-						if ix >= 0 && ix < w {
-							dst[idx] = x.Data[srcRow+ix]
-						}
-						idx++
-					}
-				}
-				row++
-			}
-		}
+// Infer computes the convolution without touching the training cache; it
+// is safe for concurrent use and releases all scratch before returning.
+func (c *Conv2D) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	d, err := c.checkInput(x)
+	if err != nil {
+		return nil, err
 	}
-	return col
+	out, cols, err := c.forwardCompute(x, d)
+	if err != nil {
+		return nil, err
+	}
+	tensor.PutScratch(cols)
+	return out, nil
 }
 
-// Backward accumulates weight/bias gradients and returns the input
-// gradient.
+// im2colBatch unrolls every sample's receptive fields into the batched
+// (Cin*K*K, N*outH*outW) matrix: row r holds kernel-position r, sample
+// s's columns occupy the [s*outH*outW, (s+1)*outH*outW) block of each
+// row. Every element is written (padding positions get explicit zeros),
+// so the destination may be dirty scratch. Samples fan across workers.
+func (c *Conv2D) im2colBatch(x, col *tensor.Tensor, d convDims) {
+	k := c.KernelSize
+	oHW := d.outH * d.outW
+	total := d.n * oHW
+	chStride := d.h * d.w
+	parallelSamples(d.n, len(col.Data), func(s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			base := s * c.InChannels * chStride
+			row := 0
+			for ci := 0; ci < c.InChannels; ci++ {
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						dst := col.Data[row*total+s*oHW : row*total+(s+1)*oHW]
+						idx := 0
+						for oy := 0; oy < d.outH; oy++ {
+							iy := oy*c.Stride - c.Pad + ky
+							if iy < 0 || iy >= d.h {
+								for ox := 0; ox < d.outW; ox++ {
+									dst[idx] = 0
+									idx++
+								}
+								continue
+							}
+							srcRow := base + ci*chStride + iy*d.w
+							for ox := 0; ox < d.outW; ox++ {
+								ix := ox*c.Stride - c.Pad + kx
+								if ix >= 0 && ix < d.w {
+									dst[idx] = x.Data[srcRow+ix]
+								} else {
+									dst[idx] = 0
+								}
+								idx++
+							}
+						}
+						row++
+					}
+				}
+			}
+		}
+	})
+}
+
+// scatterOutput relayouts the GEMM result (OutC, N*outH*outW) into NCHW
+// and adds the per-channel bias, writing every destination element.
+func (c *Conv2D) scatterOutput(gemm, out *tensor.Tensor, d convDims) {
+	oHW := d.outH * d.outW
+	total := d.n * oHW
+	parallelSamples(d.n, len(out.Data), func(s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			for oc := 0; oc < c.OutChannels; oc++ {
+				src := gemm.Data[oc*total+s*oHW : oc*total+(s+1)*oHW]
+				dst := out.Data[(s*c.OutChannels+oc)*oHW : (s*c.OutChannels+oc+1)*oHW]
+				bv := c.bias.Value.Data[oc]
+				for i, v := range src {
+					dst[i] = v + bv
+				}
+			}
+		}
+	})
+}
+
+// gatherGrad relayouts an NCHW output gradient into the batched
+// (OutC, N*outH*outW) layout the backward GEMMs consume.
+func (c *Conv2D) gatherGrad(gradOut, gmat *tensor.Tensor, d convDims) {
+	oHW := d.outH * d.outW
+	total := d.n * oHW
+	parallelSamples(d.n, len(gmat.Data), func(s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			for oc := 0; oc < c.OutChannels; oc++ {
+				src := gradOut.Data[(s*c.OutChannels+oc)*oHW : (s*c.OutChannels+oc+1)*oHW]
+				copy(gmat.Data[oc*total+s*oHW:oc*total+(s+1)*oHW], src)
+			}
+		}
+	})
+}
+
+// Backward accumulates weight/bias gradients, returns the input
+// gradient, and releases the forward caches back to the scratch pool —
+// after Backward nothing im2col-sized stays alive on the layer.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
-	if c.input == nil {
+	if c.cols == nil {
 		return nil, fmt.Errorf("nn: conv backward before forward")
 	}
-	n := c.input.Shape[0]
-	h, w := c.input.Shape[2], c.input.Shape[3]
-	outH, outW := c.outH, c.outW
-	wantShape := []int{n, c.OutChannels, outH, outW}
-	if len(gradOut.Shape) != 4 || gradOut.Shape[0] != n || gradOut.Shape[1] != c.OutChannels || gradOut.Shape[2] != outH || gradOut.Shape[3] != outW {
-		return nil, fmt.Errorf("nn: conv backward got grad shape %v, want %v", gradOut.Shape, wantShape)
+	d := convDims{n: c.inN, h: c.inH, w: c.inW, outH: c.outH, outW: c.outW}
+	if len(gradOut.Shape) != 4 || gradOut.Shape[0] != d.n || gradOut.Shape[1] != c.OutChannels || gradOut.Shape[2] != d.outH || gradOut.Shape[3] != d.outW {
+		return nil, fmt.Errorf("nn: conv backward got grad shape %v, want %v", gradOut.Shape, []int{d.n, c.OutChannels, d.outH, d.outW})
 	}
-	gradIn := tensor.MustNew(n, c.InChannels, h, w)
-	for s := 0; s < n; s++ {
-		gseg := gradOut.Data[s*c.OutChannels*outH*outW : (s+1)*c.OutChannels*outH*outW]
-		gmat, err := tensor.FromSlice(gseg, c.OutChannels, outH*outW)
-		if err != nil {
-			return nil, err
-		}
-		// dW += g · colᵀ
-		dw, err := tensor.MatMulTransB(gmat, c.cols[s])
-		if err != nil {
-			return nil, fmt.Errorf("nn: conv backward dW: %w", err)
-		}
-		if err := c.weight.Grad.AddScaled(dw, 1); err != nil {
-			return nil, err
-		}
-		// db += row sums of g.
-		for oc := 0; oc < c.OutChannels; oc++ {
+	k := c.KernelSize
+	oHW := d.outH * d.outW
+	total := d.n * oHW
+
+	gmat := tensor.GetScratch(c.OutChannels, total)
+	c.gatherGrad(gradOut, gmat, d)
+
+	// dW += g·colᵀ, folded per sample so the accumulation order matches
+	// the per-sample reference bit for bit.
+	dw := tensor.GetScratch(c.OutChannels, c.InChannels*k*k)
+	if err := tensor.MatMulTransBFoldInto(dw, gmat, c.cols, oHW); err != nil {
+		tensor.PutScratch(gmat)
+		tensor.PutScratch(dw)
+		return nil, fmt.Errorf("nn: conv backward dW: %w", err)
+	}
+	if err := c.weight.Grad.AddScaled(dw, 1); err != nil {
+		tensor.PutScratch(gmat)
+		tensor.PutScratch(dw)
+		return nil, err
+	}
+	tensor.PutScratch(dw)
+
+	// db += per-channel row sums, folded in sample order.
+	for oc := 0; oc < c.OutChannels; oc++ {
+		for s := 0; s < d.n; s++ {
 			var sum float32
-			for _, v := range gseg[oc*outH*outW : (oc+1)*outH*outW] {
+			for _, v := range gradOut.Data[(s*c.OutChannels+oc)*oHW : (s*c.OutChannels+oc+1)*oHW] {
 				sum += v
 			}
 			c.bias.Grad.Data[oc] += sum
 		}
-		// dcol = Wᵀ · g, scattered back via col2im.
-		dcol, err := tensor.MatMulTransA(c.weight.Value, gmat)
-		if err != nil {
-			return nil, fmt.Errorf("nn: conv backward dcol: %w", err)
-		}
-		c.col2im(dcol, gradIn, s, h, w, outH, outW)
 	}
+
+	// dcol = Wᵀ·g for the whole batch at once. The forward cols were
+	// fully consumed by the dW fold above, so the buffer is reused as the
+	// destination.
+	dcol := c.cols
+	if err := tensor.MatMulTransAInto(dcol, c.weight.Value, gmat); err != nil {
+		tensor.PutScratch(gmat)
+		return nil, fmt.Errorf("nn: conv backward dcol: %w", err)
+	}
+	tensor.PutScratch(gmat)
+
+	gradIn := tensor.GetScratch(d.n, c.InChannels, d.h, d.w)
+	gradIn.Zero()
+	c.col2imBatch(dcol, gradIn, d)
+	tensor.PutScratch(c.cols)
+	c.cols = nil
 	return gradIn, nil
 }
 
-// col2im scatter-adds a column-gradient matrix back into image layout.
-func (c *Conv2D) col2im(dcol, gradIn *tensor.Tensor, sample, h, w, outH, outW int) {
+// col2imBatch scatter-adds the batched column-gradient matrix back into
+// image layout, fanning samples across workers.
+func (c *Conv2D) col2imBatch(dcol, gradIn *tensor.Tensor, d convDims) {
 	k := c.KernelSize
-	chStride := h * w
-	base := sample * c.InChannels * chStride
-	row := 0
-	for ci := 0; ci < c.InChannels; ci++ {
-		for ky := 0; ky < k; ky++ {
-			for kx := 0; kx < k; kx++ {
-				src := dcol.Data[row*outH*outW : (row+1)*outH*outW]
-				idx := 0
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*c.Stride - c.Pad + ky
-					if iy < 0 || iy >= h {
-						idx += outW
-						continue
-					}
-					dstRow := base + ci*chStride + iy*w
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*c.Stride - c.Pad + kx
-						if ix >= 0 && ix < w {
-							gradIn.Data[dstRow+ix] += src[idx]
+	oHW := d.outH * d.outW
+	total := d.n * oHW
+	chStride := d.h * d.w
+	parallelSamples(d.n, len(dcol.Data), func(s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			base := s * c.InChannels * chStride
+			row := 0
+			for ci := 0; ci < c.InChannels; ci++ {
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						src := dcol.Data[row*total+s*oHW : row*total+(s+1)*oHW]
+						idx := 0
+						for oy := 0; oy < d.outH; oy++ {
+							iy := oy*c.Stride - c.Pad + ky
+							if iy < 0 || iy >= d.h {
+								idx += d.outW
+								continue
+							}
+							dstRow := base + ci*chStride + iy*d.w
+							for ox := 0; ox < d.outW; ox++ {
+								ix := ox*c.Stride - c.Pad + kx
+								if ix >= 0 && ix < d.w {
+									gradIn.Data[dstRow+ix] += src[idx]
+								}
+								idx++
+							}
 						}
-						idx++
+						row++
 					}
 				}
-				row++
 			}
 		}
-	}
+	})
 }
 
 // Params returns the weight and bias.

@@ -27,44 +27,58 @@ func NewDropout(rate float64, seed int64) (*Dropout, error) {
 
 // Forward applies the mask in training mode.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	out := tensor.GetScratch(x.Shape...)
 	if !train || d.Rate == 0 {
 		d.mask = nil
-		return x.Clone(), nil
+		copy(out.Data, x.Data)
+		return out, nil
 	}
-	out := x.Clone()
-	d.mask = make([]bool, len(out.Data))
+	if cap(d.mask) >= len(x.Data) {
+		d.mask = d.mask[:len(x.Data)]
+	} else {
+		d.mask = make([]bool, len(x.Data))
+	}
 	scale := float32(1 / (1 - d.Rate))
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < d.Rate {
 			out.Data[i] = 0
+			d.mask[i] = false
 		} else {
 			d.mask[i] = true
-			out.Data[i] *= scale
+			out.Data[i] = v * scale
 		}
 	}
 	return out, nil
 }
 
+// Infer passes activations through unchanged (identity, no copy); safe
+// for concurrent use.
+func (d *Dropout) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return x, nil
+}
+
 // Backward routes gradients through the surviving units with the same
 // scale.
 func (d *Dropout) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
+	gradIn := tensor.GetScratch(gradOut.Shape...)
 	if d.mask == nil {
 		// Inference-mode pass-through (or rate 0).
-		return gradOut.Clone(), nil
+		copy(gradIn.Data, gradOut.Data)
+		return gradIn, nil
 	}
 	if len(d.mask) != gradOut.NumElems() {
+		tensor.PutScratch(gradIn)
 		return nil, fmt.Errorf("nn: dropout backward grad has %d elems, mask has %d", gradOut.NumElems(), len(d.mask))
 	}
-	out := gradOut.Clone()
 	scale := float32(1 / (1 - d.Rate))
-	for i := range out.Data {
+	for i, g := range gradOut.Data {
 		if d.mask[i] {
-			out.Data[i] *= scale
+			gradIn.Data[i] = g * scale
 		} else {
-			out.Data[i] = 0
+			gradIn.Data[i] = 0
 		}
 	}
-	return out, nil
+	return gradIn, nil
 }
 
 // Params returns nil; dropout has no parameters.

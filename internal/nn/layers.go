@@ -12,9 +12,10 @@ import (
 type MaxPool2D struct {
 	Size, Stride int
 
-	input   *tensor.Tensor
-	argmax  []int // flat input index chosen for each output element
-	outDims []int
+	// Training cache: the chosen input index per output element plus the
+	// input geometry (no reference to the input tensor is retained).
+	argmax []int
+	inDims [4]int
 }
 
 // NewMaxPool2D constructs a pooling layer; stride 0 defaults to the
@@ -32,21 +33,36 @@ func NewMaxPool2D(size, stride int) (*MaxPool2D, error) {
 	return &MaxPool2D{Size: size, Stride: stride}, nil
 }
 
-// Forward computes max pooling.
-func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+// outDims validates the input and derives the pooled geometry.
+func (p *MaxPool2D) outDims(x *tensor.Tensor) (n, c, outH, outW int, err error) {
 	if len(x.Shape) != 4 {
-		return nil, fmt.Errorf("nn: pool expects NCHW input, got %v", x.Shape)
+		return 0, 0, 0, 0, fmt.Errorf("nn: pool expects NCHW input, got %v", x.Shape)
 	}
-	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	outH := (h-p.Size)/p.Stride + 1
-	outW := (w-p.Size)/p.Stride + 1
+	n, c = x.Shape[0], x.Shape[1]
+	h, w := x.Shape[2], x.Shape[3]
+	outH = (h-p.Size)/p.Stride + 1
+	outW = (w-p.Size)/p.Stride + 1
 	if outH <= 0 || outW <= 0 {
-		return nil, fmt.Errorf("nn: pool output degenerate for %dx%d (size=%d stride=%d)", h, w, p.Size, p.Stride)
+		return 0, 0, 0, 0, fmt.Errorf("nn: pool output degenerate for %dx%d (size=%d stride=%d)", h, w, p.Size, p.Stride)
 	}
-	out := tensor.MustNew(n, c, outH, outW)
-	p.input = x
-	p.argmax = make([]int, out.NumElems())
-	p.outDims = []int{n, c, outH, outW}
+	return n, c, outH, outW, nil
+}
+
+// Forward computes max pooling and records the argmax for Backward.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, c, outH, outW, err := p.outDims(x)
+	if err != nil {
+		return nil, err
+	}
+	h, w := x.Shape[2], x.Shape[3]
+	out := tensor.GetScratch(n, c, outH, outW)
+	elems := out.NumElems()
+	if cap(p.argmax) >= elems {
+		p.argmax = p.argmax[:elems]
+	} else {
+		p.argmax = make([]int, elems)
+	}
+	p.inDims = [4]int{n, c, h, w}
 	oi := 0
 	for s := 0; s < n; s++ {
 		for ci := 0; ci < c; ci++ {
@@ -75,15 +91,52 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// Infer computes max pooling without recording argmax; it is stateless
+// and safe for concurrent use. Samples fan across workers.
+func (p *MaxPool2D) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	n, c, outH, outW, err := p.outDims(x)
+	if err != nil {
+		return nil, err
+	}
+	h, w := x.Shape[2], x.Shape[3]
+	out := tensor.GetScratch(n, c, outH, outW)
+	perSample := c * outH * outW
+	parallelSamples(n, len(x.Data), func(s0, s1 int) {
+		for s := s0; s < s1; s++ {
+			oi := s * perSample
+			for ci := 0; ci < c; ci++ {
+				chBase := (s*c + ci) * h * w
+				for oy := 0; oy < outH; oy++ {
+					for ox := 0; ox < outW; ox++ {
+						best := float32(math.Inf(-1))
+						for ky := 0; ky < p.Size; ky++ {
+							rowBase := chBase + (oy*p.Stride+ky)*w + ox*p.Stride
+							for kx := 0; kx < p.Size; kx++ {
+								if v := x.Data[rowBase+kx]; v > best {
+									best = v
+								}
+							}
+						}
+						out.Data[oi] = best
+						oi++
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
 // Backward routes gradients to the argmax positions.
 func (p *MaxPool2D) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
-	if p.input == nil {
+	if p.argmax == nil {
 		return nil, fmt.Errorf("nn: pool backward before forward")
 	}
 	if gradOut.NumElems() != len(p.argmax) {
 		return nil, fmt.Errorf("nn: pool backward grad has %d elems, want %d", gradOut.NumElems(), len(p.argmax))
 	}
-	gradIn := tensor.MustNew(p.input.Shape...)
+	gradIn := tensor.GetScratch(p.inDims[0], p.inDims[1], p.inDims[2], p.inDims[3])
+	gradIn.Zero()
 	for i, src := range p.argmax {
 		gradIn.Data[src] += gradOut.Data[i]
 	}
@@ -107,20 +160,32 @@ func NewLeakyReLU(alpha float32) (*LeakyReLU, error) {
 	return &LeakyReLU{Alpha: alpha}, nil
 }
 
-// Forward applies the activation elementwise.
+// apply writes the activation of x into a fresh scratch tensor.
+func (r *LeakyReLU) apply(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.GetScratch(x.Shape...)
+	for i, v := range x.Data {
+		if v < 0 {
+			v = r.Alpha * v
+		}
+		out.Data[i] = v
+	}
+	return out
+}
+
+// Forward applies the activation elementwise, caching the input for
+// Backward.
 func (r *LeakyReLU) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	r.input = x
-	out := x.Clone()
-	for i, v := range out.Data {
-		if v < 0 {
-			out.Data[i] = r.Alpha * v
-		}
-	}
-	return out, nil
+	return r.apply(x), nil
+}
+
+// Infer applies the activation without caching; safe for concurrent use.
+func (r *LeakyReLU) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return r.apply(x), nil
 }
 
 // Backward scales gradients by the activation's slope at the cached
-// input.
+// input, then releases the cache.
 func (r *LeakyReLU) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 	if r.input == nil {
 		return nil, fmt.Errorf("nn: relu backward before forward")
@@ -128,12 +193,14 @@ func (r *LeakyReLU) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 	if !gradOut.SameShape(r.input) {
 		return nil, fmt.Errorf("nn: relu backward shape %v, want %v", gradOut.Shape, r.input.Shape)
 	}
-	gradIn := gradOut.Clone()
-	for i, v := range r.input.Data {
-		if v < 0 {
-			gradIn.Data[i] *= r.Alpha
+	gradIn := tensor.GetScratch(gradOut.Shape...)
+	for i, g := range gradOut.Data {
+		if r.input.Data[i] < 0 {
+			g *= r.Alpha
 		}
+		gradIn.Data[i] = g
 	}
+	r.input = nil
 	return gradIn, nil
 }
 
@@ -145,7 +212,11 @@ type Linear struct {
 	In, Out int
 	weight  *Param // (In, Out)
 	bias    *Param // (Out)
-	input   *tensor.Tensor
+
+	// Training cache: a 2-D view (shared backing array, no copy) of the
+	// forward input, cleared in Backward.
+	inView tensor.Tensor
+	input  *tensor.Tensor
 }
 
 // NewLinear constructs a fully connected layer with He initialization.
@@ -167,20 +238,13 @@ func NewLinear(in, out int, rng *rand.Rand) (*Linear, error) {
 	return &Linear{In: in, Out: out, weight: w, bias: b}, nil
 }
 
-// Forward computes x·W + b. Inputs of higher rank are flattened to
-// (N, In).
-func (l *Linear) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
-	n := x.Shape[0]
-	flat, err := x.Reshape(n, x.NumElems()/n)
-	if err != nil {
-		return nil, err
-	}
-	if flat.Shape[1] != l.In {
-		return nil, fmt.Errorf("nn: linear expects %d features, got %d", l.In, flat.Shape[1])
-	}
-	l.input = flat
-	out, err := tensor.MatMul(flat, l.weight.Value)
-	if err != nil {
+// compute runs x·W + b into a fresh scratch tensor through the given 2-D
+// view of x (higher-rank inputs flatten to (N, In) without copying).
+func (l *Linear) compute(flat *tensor.Tensor) (*tensor.Tensor, error) {
+	n := flat.Shape[0]
+	out := tensor.GetScratch(n, l.Out)
+	if err := tensor.MatMulInto(out, flat, l.weight.Value); err != nil {
+		tensor.PutScratch(out)
 		return nil, fmt.Errorf("nn: linear forward: %w", err)
 	}
 	for i := 0; i < n; i++ {
@@ -192,7 +256,41 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
 	return out, nil
 }
 
-// Backward accumulates parameter gradients and returns input gradients.
+// flatShape validates and returns the flattened (N, In) geometry.
+func (l *Linear) flatShape(x *tensor.Tensor) (n, per int, err error) {
+	n = x.Shape[0]
+	per = x.NumElems() / n
+	if per != l.In {
+		return 0, 0, fmt.Errorf("nn: linear expects %d features, got %d", l.In, per)
+	}
+	return n, per, nil
+}
+
+// Forward computes x·W + b. Inputs of higher rank are flattened to
+// (N, In).
+func (l *Linear) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) {
+	n, per, err := l.flatShape(x)
+	if err != nil {
+		return nil, err
+	}
+	l.inView.Shape = append(l.inView.Shape[:0], n, per)
+	l.inView.Data = x.Data
+	l.input = &l.inView
+	return l.compute(l.input)
+}
+
+// Infer computes x·W + b without caching; safe for concurrent use.
+func (l *Linear) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	n, per, err := l.flatShape(x)
+	if err != nil {
+		return nil, err
+	}
+	flat := tensor.Tensor{Shape: []int{n, per}, Data: x.Data}
+	return l.compute(&flat)
+}
+
+// Backward accumulates parameter gradients, returns input gradients, and
+// releases the cached input view.
 func (l *Linear) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 	if l.input == nil {
 		return nil, fmt.Errorf("nn: linear backward before forward")
@@ -202,13 +300,16 @@ func (l *Linear) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("nn: linear backward grad shape %v, want [%d %d]", gradOut.Shape, n, l.Out)
 	}
 	// dW += xᵀ·g
-	dw, err := tensor.MatMulTransA(l.input, gradOut)
-	if err != nil {
+	dw := tensor.GetScratch(l.In, l.Out)
+	if err := tensor.MatMulTransAInto(dw, l.input, gradOut); err != nil {
+		tensor.PutScratch(dw)
 		return nil, err
 	}
 	if err := l.weight.Grad.AddScaled(dw, 1); err != nil {
+		tensor.PutScratch(dw)
 		return nil, err
 	}
+	tensor.PutScratch(dw)
 	// db += column sums of g.
 	for i := 0; i < n; i++ {
 		row := gradOut.Data[i*l.Out : (i+1)*l.Out]
@@ -217,10 +318,13 @@ func (l *Linear) Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 	// dx = g·Wᵀ
-	gradIn, err := tensor.MatMulTransB(gradOut, l.weight.Value)
-	if err != nil {
+	gradIn := tensor.GetScratch(n, l.In)
+	if err := tensor.MatMulTransBInto(gradIn, gradOut, l.weight.Value); err != nil {
+		tensor.PutScratch(gradIn)
 		return nil, err
 	}
+	l.input = nil
+	l.inView.Data = nil
 	return gradIn, nil
 }
 

@@ -16,6 +16,22 @@ func Sigmoid(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// SigmoidInto applies the logistic function elementwise into dst, which
+// must have the same element count as x (its contents are overwritten).
+func SigmoidInto(dst, x *tensor.Tensor) error {
+	if dst.NumElems() != x.NumElems() {
+		return fmt.Errorf("nn: sigmoid dst has %d elems, want %d", dst.NumElems(), x.NumElems())
+	}
+	for i, v := range x.Data {
+		dst.Data[i] = sigmoid32(v)
+	}
+	return nil
+}
+
+// Sigmoid32 is the scalar logistic function every sigmoid path in the
+// detector shares (so decode and training round identically).
+func Sigmoid32(v float32) float32 { return sigmoid32(v) }
+
 func sigmoid32(v float32) float32 {
 	return float32(1 / (1 + math.Exp(-float64(v))))
 }
@@ -26,14 +42,28 @@ func sigmoid32(v float32) float32 {
 // numerically stable fused form used for the detector's objectness and
 // class heads.
 func BCEWithLogits(logits, targets, weights *tensor.Tensor) (float64, *tensor.Tensor, error) {
+	grad := tensor.MustNew(logits.Shape...)
+	loss, err := BCEWithLogitsInto(grad, logits, targets, weights)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, grad, nil
+}
+
+// BCEWithLogitsInto is BCEWithLogits writing the gradient into gradDst
+// (same shape as logits, contents overwritten) — the zero-allocation
+// form for training loops.
+func BCEWithLogitsInto(gradDst, logits, targets, weights *tensor.Tensor) (float64, error) {
 	if !logits.SameShape(targets) {
-		return 0, nil, fmt.Errorf("nn: bce shape mismatch %v vs %v", logits.Shape, targets.Shape)
+		return 0, fmt.Errorf("nn: bce shape mismatch %v vs %v", logits.Shape, targets.Shape)
 	}
 	if weights != nil && !weights.SameShape(logits) {
-		return 0, nil, fmt.Errorf("nn: bce weight shape %v, want %v", weights.Shape, logits.Shape)
+		return 0, fmt.Errorf("nn: bce weight shape %v, want %v", weights.Shape, logits.Shape)
+	}
+	if gradDst.NumElems() != logits.NumElems() {
+		return 0, fmt.Errorf("nn: bce grad dst has %d elems, want %d", gradDst.NumElems(), logits.NumElems())
 	}
 	n := float64(logits.NumElems())
-	grad := tensor.MustNew(logits.Shape...)
 	var loss float64
 	for i, z := range logits.Data {
 		t := targets.Data[i]
@@ -45,22 +75,35 @@ func BCEWithLogits(logits, targets, weights *tensor.Tensor) (float64, *tensor.Te
 		zf := float64(z)
 		l := math.Max(zf, 0) - zf*float64(t) + math.Log1p(math.Exp(-math.Abs(zf)))
 		loss += float64(w) * l
-		grad.Data[i] = w * (sigmoid32(z) - t) / float32(n)
+		gradDst.Data[i] = w * (sigmoid32(z) - t) / float32(n)
 	}
-	return loss / n, grad, nil
+	return loss / n, nil
 }
 
 // MSE computes the mean squared error and its gradient w.r.t. the
 // predictions, with an optional per-element weight (nil means uniform).
 func MSE(pred, target, weights *tensor.Tensor) (float64, *tensor.Tensor, error) {
+	grad := tensor.MustNew(pred.Shape...)
+	loss, err := MSEInto(grad, pred, target, weights)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, grad, nil
+}
+
+// MSEInto is MSE writing the gradient into gradDst (same shape as pred,
+// contents overwritten) — the zero-allocation form for training loops.
+func MSEInto(gradDst, pred, target, weights *tensor.Tensor) (float64, error) {
 	if !pred.SameShape(target) {
-		return 0, nil, fmt.Errorf("nn: mse shape mismatch %v vs %v", pred.Shape, target.Shape)
+		return 0, fmt.Errorf("nn: mse shape mismatch %v vs %v", pred.Shape, target.Shape)
 	}
 	if weights != nil && !weights.SameShape(pred) {
-		return 0, nil, fmt.Errorf("nn: mse weight shape %v, want %v", weights.Shape, pred.Shape)
+		return 0, fmt.Errorf("nn: mse weight shape %v, want %v", weights.Shape, pred.Shape)
+	}
+	if gradDst.NumElems() != pred.NumElems() {
+		return 0, fmt.Errorf("nn: mse grad dst has %d elems, want %d", gradDst.NumElems(), pred.NumElems())
 	}
 	n := float64(pred.NumElems())
-	grad := tensor.MustNew(pred.Shape...)
 	var loss float64
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
@@ -69,7 +112,7 @@ func MSE(pred, target, weights *tensor.Tensor) (float64, *tensor.Tensor, error) 
 			w = weights.Data[i]
 		}
 		loss += float64(w) * float64(d) * float64(d)
-		grad.Data[i] = w * 2 * d / float32(n)
+		gradDst.Data[i] = w * 2 * d / float32(n)
 	}
-	return loss / n, grad, nil
+	return loss / n, nil
 }

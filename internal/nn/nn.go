@@ -1,10 +1,19 @@
 // Package nn is a compact neural-network layer library with hand-written
-// backpropagation: 2-D convolution (via im2col), max pooling, ReLU-family
-// activations, fully connected layers, binary-cross-entropy and
-// mean-squared-error losses, and SGD/Adam optimizers. It is the training
-// substrate for the YOLO-style detector standing in for the paper's
-// YOLOv11-Nano baseline. Every layer's analytic gradient is verified
-// against central differences in the tests.
+// backpropagation: 2-D convolution (batched im2col + one GEMM per batch),
+// max pooling, ReLU-family activations, fully connected layers, binary
+// cross-entropy and mean-squared-error losses, and SGD/Adam optimizers.
+// It is the training substrate for the YOLO-style detector standing in
+// for the paper's YOLOv11-Nano baseline. Every layer's analytic gradient
+// is verified against central differences in the tests.
+//
+// The compute layer has two paths. The training path (Forward/Backward)
+// caches whatever the backward pass needs and recycles every
+// intermediate tensor through the shared scratch pool, so steady-state
+// training steps allocate almost nothing. The inference path (Infer) is
+// stateless and reentrant: it touches no layer caches, so one model can
+// serve concurrent Infer calls — the property the evaluation engine uses
+// to fan detector/classifier inference across its worker pool. Both
+// paths run the same kernels and produce bit-identical outputs.
 package nn
 
 import (
@@ -35,17 +44,26 @@ func newParam(name string, shape ...int) (*Param, error) {
 }
 
 // Layer is one differentiable stage. Forward caches whatever Backward
-// needs; layers are therefore not safe for concurrent or interleaved use,
-// matching the single-threaded training loop.
+// needs; the training path is therefore not safe for concurrent or
+// interleaved use. Infer is the opposite contract: no caches, safe for
+// concurrent calls on one layer (as long as nothing mutates the
+// parameters underneath it).
 type Layer interface {
-	// Forward computes the layer output. train enables training-only
-	// behavior (none of the current layers differ, but the flag keeps
-	// the interface stable for dropout-style layers).
+	// Forward computes the layer output for training. train enables
+	// training-only behavior (dropout masking; other layers ignore it).
+	// The returned tensor comes from the shared scratch pool and is
+	// recycled by Sequential.Backward.
 	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
 	// Backward consumes the gradient w.r.t. the layer's output,
-	// accumulates parameter gradients, and returns the gradient w.r.t.
-	// the layer's input.
+	// accumulates parameter gradients, releases the layer's forward
+	// caches, and returns the gradient w.r.t. the layer's input.
 	Backward(gradOut *tensor.Tensor) (*tensor.Tensor, error)
+	// Infer computes the layer output without touching training caches.
+	// It is safe for concurrent use. The result may come from the shared
+	// scratch pool; callers that are done with it may hand it back via
+	// tensor.PutScratch. Infer may return its input unchanged (identity
+	// layers); callers must not assume a fresh tensor.
+	Infer(x *tensor.Tensor) (*tensor.Tensor, error)
 	// Params returns the layer's trainable parameters (possibly empty).
 	Params() []*Param
 }
@@ -53,6 +71,14 @@ type Layer interface {
 // Sequential chains layers.
 type Sequential struct {
 	Layers []Layer
+
+	// acts holds the outputs of the last training Forward, in layer
+	// order, so Backward can recycle them once no backward pass needs
+	// them anymore.
+	acts []*tensor.Tensor
+	// params caches the flattened parameter list (layers are fixed after
+	// construction), keeping Params() allocation-free in training loops.
+	params []*Param
 }
 
 // NewSequential builds a sequential network.
@@ -60,37 +86,83 @@ func NewSequential(layers ...Layer) *Sequential {
 	return &Sequential{Layers: layers}
 }
 
-// Forward runs all layers in order.
+// Forward runs all layers in order for training. Outputs are scratch
+// tensors owned by the network: the next Backward call recycles every
+// intermediate INCLUDING the returned output, so callers must finish
+// consuming the result (e.g. compute the loss gradient) before calling
+// Backward.
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
-	var err error
+	s.acts = s.acts[:0]
+	cur := x
 	for i, l := range s.Layers {
-		x, err = l.Forward(x, train)
+		y, err := l.Forward(cur, train)
 		if err != nil {
 			return nil, fmt.Errorf("nn: layer %d forward: %w", i, err)
 		}
+		if y != cur {
+			s.acts = append(s.acts, y)
+		}
+		cur = y
 	}
-	return x, nil
+	return cur, nil
 }
 
-// Backward runs all layers in reverse.
+// Backward runs all layers in reverse, then recycles the activations of
+// the preceding Forward and every intermediate gradient. The caller's
+// loss gradient is left untouched; the returned input gradient is a
+// scratch tensor the caller may recycle with tensor.PutScratch.
 func (s *Sequential) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
-	var err error
+	cur := grad
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		grad, err = s.Layers[i].Backward(grad)
+		g, err := s.Layers[i].Backward(cur)
 		if err != nil {
 			return nil, fmt.Errorf("nn: layer %d backward: %w", i, err)
 		}
+		if cur != grad {
+			tensor.PutScratch(cur)
+		}
+		cur = g
 	}
-	return grad, nil
+	for _, a := range s.acts {
+		tensor.PutScratch(a)
+	}
+	s.acts = s.acts[:0]
+	return cur, nil
 }
 
-// Params collects all trainable parameters.
-func (s *Sequential) Params() []*Param {
-	var out []*Param
-	for _, l := range s.Layers {
-		out = append(out, l.Params()...)
+// Infer runs all layers in order through their stateless inference path,
+// recycling each intermediate as soon as the next layer has consumed it.
+// It is safe for concurrent use on one network (nothing may mutate the
+// parameters concurrently). The caller's input is never recycled; the
+// returned output is a scratch tensor the caller may hand back via
+// tensor.PutScratch when done.
+func (s *Sequential) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	cur := x
+	for i, l := range s.Layers {
+		y, err := l.Infer(cur)
+		if err != nil {
+			if cur != x {
+				tensor.PutScratch(cur)
+			}
+			return nil, fmt.Errorf("nn: layer %d infer: %w", i, err)
+		}
+		if y != cur && cur != x {
+			tensor.PutScratch(cur)
+		}
+		cur = y
 	}
-	return out
+	return cur, nil
+}
+
+// Params collects all trainable parameters (cached; do not mutate the
+// returned slice).
+func (s *Sequential) Params() []*Param {
+	if s.params == nil {
+		for _, l := range s.Layers {
+			s.params = append(s.params, l.Params()...)
+		}
+	}
+	return s.params
 }
 
 // ZeroGrads clears every parameter gradient.

@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelWorkThreshold is the per-call element count below which
+// im2col/col2im/scatter loops run single-threaded: under it, goroutine
+// startup costs more than the copy.
+const parallelWorkThreshold = 1 << 14
+
+// parallelSamples runs f over [0, n) batch samples, fanning contiguous
+// sample ranges across GOMAXPROCS workers when the total element count
+// makes it worthwhile. Each sample's work must touch disjoint memory.
+func parallelSamples(n, elems int, f func(s0, s1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if elems < parallelWorkThreshold || workers <= 1 || n <= 1 {
+		f(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		s0 := w * chunk
+		s1 := s0 + chunk
+		if s1 > n {
+			s1 = n
+		}
+		if s0 >= s1 {
+			break
+		}
+		wg.Add(1)
+		go func(s0, s1 int) {
+			defer wg.Done()
+			f(s0, s1)
+		}(s0, s1)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,74 @@
+package tensor
+
+import "sync"
+
+// Pool recycles tensors by element count so hot loops (training steps,
+// concurrent inference) reuse buffers instead of churning the garbage
+// collector. Buckets are backed by sync.Pool, so the pool is safe for
+// concurrent use and its contents are reclaimable under memory pressure —
+// holding a buffer in the pool never pins peak memory the way a
+// long-lived per-layer cache would.
+//
+// Get returns a tensor with UNDEFINED contents: callers must fully write
+// it (or call Zero) before reading. Put hands the tensor back; it must
+// not be used — or Put again — afterward.
+type Pool struct {
+	buckets sync.Map // element count -> *sync.Pool of *Tensor
+}
+
+// NewPool constructs an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+func (p *Pool) bucket(n int) *sync.Pool {
+	if v, ok := p.buckets.Load(n); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := p.buckets.LoadOrStore(n, &sync.Pool{})
+	return v.(*sync.Pool)
+}
+
+// Get returns a tensor of the given shape with undefined contents,
+// reusing a pooled buffer of the same element count when one is
+// available. Invalid shapes panic (a programming bug, as in MustNew).
+func (p *Pool) Get(shape ...int) *Tensor {
+	if len(shape) == 0 {
+		panic("tensor: pool Get with empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			// A constant panic message keeps the shape argument from
+			// escaping, so hot-loop Gets stay allocation-free.
+			panic("tensor: pool Get with non-positive dimension")
+		}
+		n *= d
+	}
+	if v := p.bucket(n).Get(); v != nil {
+		t := v.(*Tensor)
+		t.Shape = append(t.Shape[:0], shape...)
+		return t
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// Put returns a tensor to the pool for reuse. Put(nil) is a no-op.
+func (p *Pool) Put(t *Tensor) {
+	if t == nil || len(t.Data) == 0 {
+		return
+	}
+	p.bucket(len(t.Data)).Put(t)
+}
+
+// scratch is the package-level pool shared by the whole compute layer:
+// nn layer activations and gradients, im2col matrices, and the
+// yolo/classify batch tensors all cycle through it, so a buffer freed by
+// one stage is immediately reusable by the next.
+var scratch = NewPool()
+
+// GetScratch returns a tensor from the shared scratch pool. Contents are
+// undefined; see Pool.Get.
+func GetScratch(shape ...int) *Tensor { return scratch.Get(shape...) }
+
+// PutScratch returns a tensor to the shared scratch pool. The tensor
+// must not be used afterward.
+func PutScratch(t *Tensor) { scratch.Put(t) }

@@ -80,7 +80,11 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 }
 
 // offset computes the flat index for multi-indices; panics on rank or
-// range errors (programming bugs, not runtime conditions).
+// range errors (programming bugs, not runtime conditions). The panic
+// messages format only scalars — never the idx slice — so escape
+// analysis keeps At/Set variadic arguments on the caller's stack, which
+// is what makes index-heavy hot loops (target encoding, loss
+// gather/scatter, grid decode) allocation-free.
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.Shape) {
 		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.Shape)))
@@ -88,7 +92,7 @@ func (t *Tensor) offset(idx []int) int {
 	off := 0
 	for i, v := range idx {
 		if v < 0 || v >= t.Shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+			panic(fmt.Sprintf("tensor: index %d out of range [0,%d) in dimension %d", v, t.Shape[i], i))
 		}
 		off = off*t.Shape[i] + v
 	}

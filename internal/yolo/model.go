@@ -63,11 +63,18 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Model is the detector.
+// Model is the detector. Training (Train) is single-threaded; inference
+// (Detect/DetectBatch) runs on the stateless nn.Infer path and is safe
+// for concurrent use — though not concurrently with Train, which mutates
+// the weights.
 type Model struct {
 	cfg  Config
 	grid int
 	net  *nn.Sequential
+
+	// claimedArea is encodeTargets' per-cell claim scratch, reused across
+	// training steps.
+	claimedArea []float64
 }
 
 // New builds a randomly initialized detector.
@@ -127,17 +134,19 @@ func (m *Model) InputSize() int { return m.cfg.InputSize }
 // ParamCount returns the number of trainable scalars.
 func (m *Model) ParamCount() int { return m.net.ParamCount() }
 
-// batchTensor packs rendered images into an NCHW tensor, validating
-// resolution.
+// batchTensor packs rendered images into a pooled NCHW scratch tensor,
+// validating resolution. Callers own the tensor and should hand it back
+// via tensor.PutScratch.
 func (m *Model) batchTensor(images []*render.Image) (*tensor.Tensor, error) {
 	if len(images) == 0 {
 		return nil, fmt.Errorf("yolo: empty batch")
 	}
 	s := m.cfg.InputSize
-	x := tensor.MustNew(len(images), render.Channels, s, s)
+	x := tensor.GetScratch(len(images), render.Channels, s, s)
 	per := render.Channels * s * s
 	for i, img := range images {
 		if img.W != s || img.H != s {
+			tensor.PutScratch(x)
 			return nil, fmt.Errorf("yolo: image %d is %dx%d, model expects %dx%d", i, img.W, img.H, s, s)
 		}
 		copy(x.Data[i*per:(i+1)*per], img.Pix)
@@ -149,21 +158,45 @@ func (m *Model) batchTensor(images []*render.Image) (*tensor.Tensor, error) {
 type Detection = metrics.Detection
 
 // Detect runs inference on one image and returns NMS-filtered detections
-// with scores above scoreThresh.
+// with scores above scoreThresh. It is safe for concurrent use.
 func (m *Model) Detect(img *render.Image, scoreThresh, nmsIoU float64) ([]Detection, error) {
-	if scoreThresh < 0 || scoreThresh > 1 {
-		return nil, fmt.Errorf("yolo: score threshold %f outside [0,1]", scoreThresh)
-	}
-	x, err := m.batchTensor([]*render.Image{img})
+	res, err := m.DetectBatch([]*render.Image{img}, scoreThresh, nmsIoU)
 	if err != nil {
 		return nil, err
 	}
-	out, err := m.net.Forward(x, false)
+	return res[0], nil
+}
+
+// DetectBatch runs one batched forward pass over several images and
+// returns each image's NMS-filtered detections, bit-identical to calling
+// Detect per image but paying for a single batched GEMM per layer. It
+// runs on the stateless inference path, so concurrent DetectBatch calls
+// on one model are safe — the evaluation engine fans them across its
+// worker pool.
+func (m *Model) DetectBatch(imgs []*render.Image, scoreThresh, nmsIoU float64) ([][]Detection, error) {
+	if scoreThresh < 0 || scoreThresh > 1 {
+		return nil, fmt.Errorf("yolo: score threshold %f outside [0,1]", scoreThresh)
+	}
+	x, err := m.batchTensor(imgs)
 	if err != nil {
+		return nil, err
+	}
+	out, err := m.net.Infer(x)
+	if err != nil {
+		tensor.PutScratch(x)
 		return nil, fmt.Errorf("yolo: forward: %w", err)
 	}
-	dets := m.decode(out, 0, scoreThresh)
-	return nonMaxSuppress(dets, nmsIoU), nil
+	res := make([][]Detection, len(imgs))
+	for s := range imgs {
+		res[s] = nonMaxSuppress(m.decode(out, s, scoreThresh), nmsIoU)
+	}
+	// Infer may return its input unchanged (identity networks), so guard
+	// against recycling the same tensor twice.
+	if out != x {
+		tensor.PutScratch(out)
+	}
+	tensor.PutScratch(x)
+	return res, nil
 }
 
 // decode converts one sample's raw grid output into scored detections.
@@ -200,9 +233,10 @@ func (m *Model) decode(out *tensor.Tensor, sample int, scoreThresh float64) []De
 	return dets
 }
 
-func sigmoid(v float32) float32 {
-	return nn.Sigmoid(&tensor.Tensor{Shape: []int{1}, Data: []float32{v}}).Data[0]
-}
+// sigmoid is the scalar logistic function, shared with the training path
+// so decode rounds identically (the historical version built a one-element
+// tensor per call — hundreds of allocations per decoded frame).
+func sigmoid(v float32) float32 { return nn.Sigmoid32(v) }
 
 // nonMaxSuppress applies greedy per-class NMS.
 func nonMaxSuppress(dets []Detection, iouThresh float64) []Detection {

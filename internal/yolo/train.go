@@ -74,11 +74,22 @@ func (c TrainConfig) validate() error {
 
 // targets encodes ground truth for a batch into the grid layout:
 // per-cell box targets, objectness, class one-hots, plus masks weighting
-// each loss component.
+// each loss component. All six tensors are scratch-pool allocations,
+// handed back by release.
 type targets struct {
 	box, boxMask *tensor.Tensor // (N,4,g,g)
 	obj, objMask *tensor.Tensor // (N,1,g,g) conceptually; stored (N,1*g*g) inside full grid
 	cls, clsMask *tensor.Tensor // (N,C,g,g)
+}
+
+// release returns the target tensors to the scratch pool.
+func (t *targets) release() {
+	tensor.PutScratch(t.box)
+	tensor.PutScratch(t.boxMask)
+	tensor.PutScratch(t.obj)
+	tensor.PutScratch(t.objMask)
+	tensor.PutScratch(t.cls)
+	tensor.PutScratch(t.clsMask)
 }
 
 // encodeTargets assigns each ground-truth object to the grid cell holding
@@ -88,18 +99,30 @@ type targets struct {
 func (m *Model) encodeTargets(batch []dataset.Example, cfg TrainConfig) targets {
 	g := m.grid
 	n := len(batch)
+	zeroed := func(shape ...int) *tensor.Tensor {
+		t := tensor.GetScratch(shape...)
+		t.Zero()
+		return t
+	}
 	t := targets{
-		box:     tensor.MustNew(n, 4, g, g),
-		boxMask: tensor.MustNew(n, 4, g, g),
-		obj:     tensor.MustNew(n, 1, g, g),
-		objMask: tensor.MustNew(n, 1, g, g),
-		cls:     tensor.MustNew(n, scene.NumIndicators, g, g),
-		clsMask: tensor.MustNew(n, scene.NumIndicators, g, g),
+		box:     zeroed(n, 4, g, g),
+		boxMask: zeroed(n, 4, g, g),
+		obj:     zeroed(n, 1, g, g),
+		objMask: tensor.GetScratch(n, 1, g, g), // Fill covers every element
+		cls:     zeroed(n, scene.NumIndicators, g, g),
+		clsMask: zeroed(n, scene.NumIndicators, g, g),
 	}
 	t.objMask.Fill(float32(cfg.NoObjWeight))
-	type claim struct{ area float64 }
+	// claimedArea[cell] is the area of the object that claimed the cell,
+	// or -1 when unclaimed; reused across samples to stay allocation-free.
+	if cap(m.claimedArea) < g*g {
+		m.claimedArea = make([]float64, g*g)
+	}
+	claimedArea := m.claimedArea[:g*g]
 	for s, ex := range batch {
-		claimed := make(map[[2]int]claim)
+		for i := range claimedArea {
+			claimedArea[i] = -1
+		}
 		for _, o := range ex.Objects {
 			cx, cy := o.BBox.Center()
 			gx, gy := int(cx*float64(g)), int(cy*float64(g))
@@ -109,11 +132,10 @@ func (m *Model) encodeTargets(batch []dataset.Example, cfg TrainConfig) targets 
 			if gy >= g {
 				gy = g - 1
 			}
-			key := [2]int{gx, gy}
-			if prev, ok := claimed[key]; ok && prev.area >= o.BBox.Area() {
+			if claimedArea[gy*g+gx] >= o.BBox.Area() {
 				continue
 			}
-			claimed[key] = claim{area: o.BBox.Area()}
+			claimedArea[gy*g+gx] = o.BBox.Area()
 			// Box target: center offset within the cell and the square
 			// root of the normalized size (YOLOv1's trick: sqrt evens
 			// out the gradient between large roads and thin poles), all
@@ -143,16 +165,19 @@ func (m *Model) encodeTargets(batch []dataset.Example, cfg TrainConfig) targets 
 }
 
 // lossAndGrad computes the composite detection loss for raw head output
-// and returns the gradient tensor matching the output shape.
+// and returns the gradient tensor matching the output shape. The
+// gradient is a scratch tensor the caller must recycle; every
+// intermediate is pooled.
 func (m *Model) lossAndGrad(out *tensor.Tensor, tg targets) (float64, *tensor.Tensor, error) {
 	n, g := out.Shape[0], m.grid
-	grad := tensor.MustNew(out.Shape...)
+	grad := tensor.GetScratch(out.Shape...)
 
 	// Slice views by channel group. Output layout: (N, CellOutputs, g, g)
 	// with channels [cx cy w h obj cls...]. We gather each group into
-	// contiguous tensors, run the losses, then scatter gradients back.
+	// contiguous tensors, run the losses, then scatter gradients back;
+	// the three groups cover every channel, so grad is fully written.
 	gather := func(chans []int) *tensor.Tensor {
-		dst := tensor.MustNew(n, len(chans), g, g)
+		dst := tensor.GetScratch(n, len(chans), g, g)
 		for s := 0; s < n; s++ {
 			for i, c := range chans {
 				for y := 0; y < g; y++ {
@@ -183,34 +208,52 @@ func (m *Model) lossAndGrad(out *tensor.Tensor, tg targets) (float64, *tensor.Te
 		clsChans[i] = BoxFields + i
 	}
 
+	fail := func(err error) (float64, *tensor.Tensor, error) {
+		tensor.PutScratch(grad)
+		return 0, nil, err
+	}
+
 	// Box loss: MSE between sigmoid(logit) and target, masked to object
 	// cells. Chain rule multiplies by sigmoid'.
 	boxLogits := gather(boxChans)
-	boxPred := nn.Sigmoid(boxLogits)
-	boxLoss, boxGrad, err := nn.MSE(boxPred, tg.box, tg.boxMask)
+	boxPred := tensor.GetScratch(boxLogits.Shape...)
+	if err := nn.SigmoidInto(boxPred, boxLogits); err != nil {
+		return fail(fmt.Errorf("yolo: box loss: %w", err))
+	}
+	boxGrad := tensor.GetScratch(boxLogits.Shape...)
+	boxLoss, err := nn.MSEInto(boxGrad, boxPred, tg.box, tg.boxMask)
 	if err != nil {
-		return 0, nil, fmt.Errorf("yolo: box loss: %w", err)
+		return fail(fmt.Errorf("yolo: box loss: %w", err))
 	}
 	for i, v := range boxPred.Data {
 		boxGrad.Data[i] *= v * (1 - v)
 	}
 	scatter(boxGrad, boxChans)
+	tensor.PutScratch(boxLogits)
+	tensor.PutScratch(boxPred)
+	tensor.PutScratch(boxGrad)
 
 	// Objectness: BCE with per-cell weights.
 	objLogits := gather(objChans)
-	objLoss, objGrad, err := nn.BCEWithLogits(objLogits, tg.obj, tg.objMask)
+	objGrad := tensor.GetScratch(objLogits.Shape...)
+	objLoss, err := nn.BCEWithLogitsInto(objGrad, objLogits, tg.obj, tg.objMask)
 	if err != nil {
-		return 0, nil, fmt.Errorf("yolo: obj loss: %w", err)
+		return fail(fmt.Errorf("yolo: obj loss: %w", err))
 	}
 	scatter(objGrad, objChans)
+	tensor.PutScratch(objLogits)
+	tensor.PutScratch(objGrad)
 
 	// Class: BCE masked to object cells.
 	clsLogits := gather(clsChans)
-	clsLoss, clsGrad, err := nn.BCEWithLogits(clsLogits, tg.cls, tg.clsMask)
+	clsGrad := tensor.GetScratch(clsLogits.Shape...)
+	clsLoss, err := nn.BCEWithLogitsInto(clsGrad, clsLogits, tg.cls, tg.clsMask)
 	if err != nil {
-		return 0, nil, fmt.Errorf("yolo: class loss: %w", err)
+		return fail(fmt.Errorf("yolo: class loss: %w", err))
 	}
 	scatter(clsGrad, clsChans)
+	tensor.PutScratch(clsLogits)
+	tensor.PutScratch(clsGrad)
 
 	return boxLoss + objLoss + clsLoss, grad, nil
 }
@@ -234,6 +277,8 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 	for i := range order {
 		order[i] = i
 	}
+	batch := make([]dataset.Example, 0, cfg.BatchSize)
+	images := make([]*render.Image, 0, cfg.BatchSize)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		var epochLoss float64
@@ -243,11 +288,13 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 			if end > len(order) {
 				end = len(order)
 			}
-			batch := make([]dataset.Example, 0, end-start)
+			batch = batch[:0]
+			images = images[:0]
 			for _, idx := range order[start:end] {
 				batch = append(batch, examples[idx])
+				images = append(images, examples[idx].Image)
 			}
-			loss, err := m.trainStep(batch, cfg, opt)
+			loss, err := m.trainStep(batch, images, cfg, opt)
 			if err != nil {
 				return fmt.Errorf("yolo: epoch %d: %w", epoch, err)
 			}
@@ -261,29 +308,35 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 	return nil
 }
 
-// trainStep runs one optimizer update on a batch.
-func (m *Model) trainStep(batch []dataset.Example, cfg TrainConfig, opt nn.Optimizer) (float64, error) {
-	images := make([]*render.Image, len(batch))
-	for i := range batch {
-		images[i] = batch[i].Image
-	}
+// trainStep runs one optimizer update on a batch. Every tensor it
+// creates — the input batch, targets, loss gradients, and all network
+// intermediates — cycles through the scratch pool, so steady-state steps
+// are allocation-free.
+func (m *Model) trainStep(batch []dataset.Example, images []*render.Image, cfg TrainConfig, opt nn.Optimizer) (float64, error) {
 	x, err := m.batchTensor(images)
 	if err != nil {
 		return 0, err
 	}
 	out, err := m.net.Forward(x, true)
 	if err != nil {
+		tensor.PutScratch(x)
 		return 0, err
 	}
 	tg := m.encodeTargets(batch, cfg)
 	loss, grad, err := m.lossAndGrad(out, tg)
+	tg.release()
 	if err != nil {
+		tensor.PutScratch(x)
 		return 0, err
 	}
 	m.net.ZeroGrads()
-	if _, err := m.net.Backward(grad); err != nil {
+	gradIn, err := m.net.Backward(grad)
+	tensor.PutScratch(grad)
+	tensor.PutScratch(x)
+	if err != nil {
 		return 0, err
 	}
+	tensor.PutScratch(gradIn)
 	if _, err := nn.ClipGradNorm(m.net.Params(), 10); err != nil {
 		return 0, err
 	}
@@ -293,20 +346,37 @@ func (m *Model) trainStep(batch []dataset.Example, cfg TrainConfig, opt nn.Optim
 	return loss, nil
 }
 
+// evalBatchSize is the inference batch width used by Evaluate and the
+// presence sweeps: one batched forward per chunk of this many frames.
+const evalBatchSize = 16
+
 // Evaluate runs inference over examples and returns per-image evaluation
-// records for the metrics package.
+// records for the metrics package. Frames are detected in batches of
+// evalBatchSize through the stateless inference path; results are
+// bit-identical to per-frame detection.
 func (m *Model) Evaluate(examples []dataset.Example, scoreThresh, nmsIoU float64) ([]metrics.ImageEval, error) {
 	out := make([]metrics.ImageEval, 0, len(examples))
-	for i := range examples {
-		dets, err := m.Detect(examples[i].Image, scoreThresh, nmsIoU)
-		if err != nil {
-			return nil, fmt.Errorf("yolo: evaluate %s: %w", examples[i].ID, err)
+	imgs := make([]*render.Image, 0, evalBatchSize)
+	for start := 0; start < len(examples); start += evalBatchSize {
+		end := start + evalBatchSize
+		if end > len(examples) {
+			end = len(examples)
 		}
-		out = append(out, metrics.ImageEval{
-			ImageID: examples[i].ID,
-			Dets:    dets,
-			Truth:   examples[i].Objects,
-		})
+		imgs = imgs[:0]
+		for i := start; i < end; i++ {
+			imgs = append(imgs, examples[i].Image)
+		}
+		batchDets, err := m.DetectBatch(imgs, scoreThresh, nmsIoU)
+		if err != nil {
+			return nil, fmt.Errorf("yolo: evaluate batch starting at %s: %w", examples[start].ID, err)
+		}
+		for k, dets := range batchDets {
+			out = append(out, metrics.ImageEval{
+				ImageID: examples[start+k].ID,
+				Dets:    dets,
+				Truth:   examples[start+k].Objects,
+			})
+		}
 	}
 	return out, nil
 }
