@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet check
+.PHONY: all build test race bench bench-smoke run-experiment fmt fmt-check vet check
 
 all: build
 
@@ -30,6 +30,15 @@ bench:
 # in the pooled hot path are visible in CI artifacts.
 bench-smoke:
 	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep|ConvForward|ConvBackward|TrainEpoch|DetectorForward' -benchtime=1x -benchmem
+
+# Executes the small built-in "smoke" experiment spec end to end
+# through the declarative runner (two model sweeps plus their majority
+# vote), writes its run artifacts under runs/, and copies the run
+# manifest to BENCH_pr4.json — the comparable run record CI uploads for
+# every PR. Same spec + seed ⇒ byte-identical sweep report files.
+run-experiment:
+	$(GO) run ./cmd/llmeval -coords 12 -experiment smoke -run-dir runs
+	cp runs/run-smoke/manifest.json BENCH_pr4.json
 
 fmt:
 	gofmt -w .

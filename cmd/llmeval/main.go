@@ -13,15 +13,19 @@
 //	                                          # same sweeps via a remote llmserve
 //	llmeval -backend yolo -train-epochs 20    # detector presence over the corpus
 //	llmeval -backend cnn                      # scene-classification CNN baseline
+//	llmeval -run-dir runs -experiment f5      # leave a diffable run-artifact trail
 //
-// Every backend runs through the same concurrent evaluation engine:
-// frames render once into a shared cache, classification fans out
-// across workers shaped by the backend's capability hints, and Ctrl-C
-// cancels cleanly mid-sweep. The http backend uses the lossless image
-// encoding, so its reports are bit-identical to -backend local. The
-// yolo and cnn backends first train their model on the corpus's 70/20/10
-// split, then sweep the whole corpus; -experiment selection applies only
-// to the local and http backends.
+// Every experiment is a declarative spec (experiment.Builtin) executed
+// by the streaming runner on the concurrent evaluation engine: frames
+// render once into a shared cache, sweeps fan out across workers shaped
+// by each backend's capability hints, and Ctrl-C cancels cleanly
+// mid-sweep (including mid-training for the supervised backends). The
+// http backend uses the lossless image encoding, so its reports are
+// bit-identical to -backend local. The yolo and cnn backends first
+// train their model on the corpus's 70/20/10 split, then sweep the
+// whole corpus; -experiment selection applies only to the local and
+// http backends. -run-dir writes a manifest plus per-sweep report JSON
+// for the run; -v streams progress events to stderr.
 package main
 
 import (
@@ -31,10 +35,7 @@ import (
 	"os"
 	"os/signal"
 
-	"nbhd/internal/backend"
-	"nbhd/internal/core"
-	"nbhd/internal/ensemble"
-	"nbhd/internal/llmclient"
+	"nbhd/internal/experiment"
 	"nbhd/internal/metrics"
 	"nbhd/internal/prompt"
 	"nbhd/internal/report"
@@ -49,163 +50,117 @@ func main() {
 	}
 }
 
-// backendFactory builds a backend for one model ID — local simulation
-// or remote HTTP, selected by -backend.
-type backendFactory func(id vlm.ModelID) (backend.Backend, error)
-
 func run() error {
 	coords := flag.Int("coords", 150, "sampled coordinates (4 frames each)")
 	seed := flag.Int64("seed", 1, "seed")
-	experiment := flag.String("experiment", "all", "one of: all, tables, f4, f5, f6, params (local/http backends)")
+	experimentName := flag.String("experiment", "all", "one of: all, tables, f4, f5, f6, params (local/http backends)")
 	workers := flag.Int("workers", 0, "evaluation worker budget (0 = GOMAXPROCS); multi-model sweeps divide it")
 	backendName := flag.String("backend", "local", "classifier backend: local, http, yolo, or cnn")
 	baseURL := flag.String("base-url", "http://127.0.0.1:8080", "llmserve base URL for -backend http")
 	apiKey := flag.String("api-key", "", "bearer token for -backend http")
 	trainEpochs := flag.Int("train-epochs", 20, "training epochs for -backend yolo/cnn")
+	runDir := flag.String("run-dir", "", "write run artifacts (manifest + per-sweep report JSON) under this directory")
+	verbose := flag.Bool("v", false, "stream run progress events to stderr")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	pipe, err := core.NewPipeline(core.Config{Coordinates: *coords, Seed: *seed})
-	if err != nil {
-		return err
-	}
-	ev := pipe.NewEvaluator(core.EvalConfig{Workers: *workers})
-
+	cfg := experiment.BuiltinConfig{Coordinates: *coords, Seed: *seed, TrainEpochs: *trainEpochs}
+	specName := *experimentName
 	switch *backendName {
 	case "local", "http":
-		mk, err := modelBackends(*backendName, *baseURL, *apiKey)
-		if err != nil {
-			return err
+		switch specName {
+		case "all", "tables", "f4", "f5", "f6", "params", "smoke":
+		default:
+			return fmt.Errorf("unknown experiment %q (want all, tables, f4, f5, f6, params, or smoke)", specName)
 		}
-		return experiments(ctx, ev, mk, *experiment)
-	case "yolo", "cnn":
-		return detectorBackend(ctx, pipe, ev, *backendName, *trainEpochs)
+		if *backendName == "http" {
+			cfg.BaseURL = *baseURL
+			cfg.APIKey = *apiKey
+		}
+	case "yolo":
+		specName = "yolo"
+		fmt.Printf("training detector baseline (%d epochs)...\n", *trainEpochs)
+	case "cnn":
+		specName = "cnn"
+		fmt.Printf("training scene-classification CNN (%d epochs)...\n", *trainEpochs)
 	default:
 		return fmt.Errorf("unknown backend %q (want local, http, yolo, or cnn)", *backendName)
 	}
-}
-
-// modelBackends returns the per-model backend factory for the local or
-// http families. The http factory shares one client (one retry budget,
-// one connection pool) across models and uses the lossless image
-// encoding so reports match the local backend exactly.
-func modelBackends(kind, baseURL, apiKey string) (backendFactory, error) {
-	switch kind {
-	case "local":
-		return func(id vlm.ModelID) (backend.Backend, error) {
-			profile, err := vlm.ProfileFor(id)
-			if err != nil {
-				return nil, err
-			}
-			m, err := vlm.NewModel(profile)
-			if err != nil {
-				return nil, err
-			}
-			return backend.NewVLM(m)
-		}, nil
-	case "http":
-		client, err := llmclient.New(llmclient.Config{
-			BaseURL:  baseURL,
-			APIKey:   apiKey,
-			Encoding: llmclient.EncodeRawF32,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return func(id vlm.ModelID) (backend.Backend, error) {
-			return backend.NewHTTP(backend.HTTPConfig{Client: client, Model: id})
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown model backend %q", kind)
-	}
-}
-
-func experiments(ctx context.Context, ev *core.Evaluator, mk backendFactory, experiment string) error {
-	switch experiment {
-	case "all":
-		if err := tables(ctx, ev, mk); err != nil {
-			return err
-		}
-		if err := fig4(ctx, ev, mk); err != nil {
-			return err
-		}
-		if err := fig5(ctx, ev, mk); err != nil {
-			return err
-		}
-		if err := fig6(ctx, ev, mk); err != nil {
-			return err
-		}
-		return params(ctx, ev, mk)
-	case "tables":
-		return tables(ctx, ev, mk)
-	case "f4":
-		return fig4(ctx, ev, mk)
-	case "f5":
-		return fig5(ctx, ev, mk)
-	case "f6":
-		return fig6(ctx, ev, mk)
-	case "params":
-		return params(ctx, ev, mk)
-	default:
-		return fmt.Errorf("unknown experiment %q", experiment)
-	}
-}
-
-// detectorBackend trains the requested supervised baseline on the
-// corpus split and sweeps the whole corpus through the engine — the
-// detection-vs-LLM comparison of Fig. 5 at the backend layer. Training
-// runs in a goroutine so Ctrl-C exits promptly instead of grinding
-// through the remaining epochs (the goroutine dies with the process).
-func detectorBackend(ctx context.Context, pipe *core.Pipeline, ev *core.Evaluator, kind string, epochs int) error {
-	trained := make(chan backend.Backend, 1)
-	trainErr := make(chan error, 1)
-	go func() {
-		switch kind {
-		case "yolo":
-			fmt.Printf("training detector baseline (%d epochs)...\n", epochs)
-			res, err := pipe.TrainBaseline(core.BaselineOptions{Epochs: epochs})
-			if err != nil {
-				trainErr <- err
-				return
-			}
-			b, err := backend.NewYOLO(res.Model, 0.25, 0.45)
-			if err != nil {
-				trainErr <- err
-				return
-			}
-			trained <- b
-		case "cnn":
-			fmt.Printf("training scene-classification CNN (%d epochs)...\n", epochs)
-			m, err := pipe.TrainSceneCNN(core.BaselineOptions{Epochs: epochs})
-			if err != nil {
-				trainErr <- err
-				return
-			}
-			b, err := backend.NewCNN(m, 0.5)
-			if err != nil {
-				trainErr <- err
-				return
-			}
-			trained <- b
-		default:
-			trainErr <- fmt.Errorf("unknown detector backend %q", kind)
-		}
-	}()
-	var b backend.Backend
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case err := <-trainErr:
-		return err
-	case b = <-trained:
-	}
-	rep, err := ev.EvaluateBackend(ctx, b, core.LLMOptions{})
+	spec, err := experiment.Builtin(specName, cfg)
 	if err != nil {
 		return err
 	}
-	printReport(fmt.Sprintf("%s backend — whole-corpus presence report:", b.Name()), rep)
+
+	var sink experiment.Sink
+	if *verbose {
+		sink = func(ev experiment.Event) {
+			switch ev.Kind {
+			case experiment.ReportReady:
+				fmt.Fprintf(os.Stderr, "llmeval: %s %s/%s report ready\n", ev.Kind, ev.Step, ev.Backend)
+			case experiment.RunFailed:
+				fmt.Fprintf(os.Stderr, "llmeval: %s %v\n", ev.Kind, ev.Err)
+			default:
+				fmt.Fprintf(os.Stderr, "llmeval: %s %s\n", ev.Kind, ev.Step)
+			}
+		}
+	}
+	res, err := experiment.NewRunner(experiment.RunnerConfig{Workers: *workers}).Run(ctx, spec, sink)
+	if err != nil {
+		return err
+	}
+	if *runDir != "" {
+		store, err := experiment.NewStore(*runDir)
+		if err != nil {
+			return err
+		}
+		dir, err := store.Save("", res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "llmeval: run artifacts in %s\n", dir)
+	}
+	return printExperiment(specName, res)
+}
+
+// printExperiment renders a run's reports in the paper's layout.
+func printExperiment(name string, res *experiment.Result) error {
+	switch name {
+	case "all":
+		printTables(res)
+		printFig4(res)
+		if err := printFig5(res); err != nil {
+			return err
+		}
+		if err := printFig6(res); err != nil {
+			return err
+		}
+		printParams(res)
+	case "tables":
+		printTables(res)
+	case "f4":
+		printFig4(res)
+	case "f5":
+		return printFig5(res)
+	case "f6":
+		return printFig6(res)
+	case "params":
+		printParams(res)
+	case "yolo", "cnn":
+		sw := res.Sweep("presence")
+		rep := sw.Reports[0]
+		printReport(fmt.Sprintf("%s backend — whole-corpus presence report:", rep.Backend), rep.Report)
+	default:
+		// Named specs without a bespoke layout (e.g. smoke) print every
+		// sweep report generically.
+		for i := range res.Sweeps {
+			sw := &res.Sweeps[i]
+			for k := range sw.Reports {
+				printReport(fmt.Sprintf("%s/%s:", sw.Name, sw.Reports[k].Backend), sw.Reports[k].Report)
+			}
+		}
+	}
 	return nil
 }
 
@@ -220,51 +175,19 @@ func printReport(title string, rep *metrics.ClassReport) {
 	fmt.Printf("%-18s %9.2f %9.2f %9.2f %9.2f\n", "Average", p, r, f1, acc)
 }
 
-// evalAll evaluates all four models concurrently through the factory's
-// backends, dividing the evaluator's worker budget.
-func evalAll(ctx context.Context, ev *core.Evaluator, mk backendFactory, opts core.LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
-	backends := make(map[vlm.ModelID]backend.Backend, len(vlm.AllModels()))
+func printTables(res *experiment.Result) {
+	sw := res.Sweep("tables")
 	for _, id := range vlm.AllModels() {
-		b, err := mk(id)
-		if err != nil {
-			return nil, err
-		}
-		backends[id] = b
+		printReport(fmt.Sprintf("Table (%s) — parallel English prompts:", id), sw.Report(string(id)))
 	}
-	return ev.EvaluateModels(ctx, backends, opts)
 }
 
-func tables(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
-	reports, err := evalAll(ctx, ev, mk, core.LLMOptions{})
-	if err != nil {
-		return err
-	}
-	for _, id := range vlm.AllModels() {
-		printReport(fmt.Sprintf("Table (%s) — parallel English prompts:", id), reports[id])
-	}
-	return nil
-}
-
-func evalModel(ctx context.Context, ev *core.Evaluator, mk backendFactory, id vlm.ModelID, opts core.LLMOptions) (*metrics.ClassReport, error) {
-	b, err := mk(id)
-	if err != nil {
-		return nil, err
-	}
-	return ev.EvaluateBackend(ctx, b, opts)
-}
-
-func fig4(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
+func printFig4(res *experiment.Result) {
 	fmt.Println("\nFig. 4 — recall by prompting strategy:")
+	parSweep, seqSweep := res.Sweep("f4:parallel"), res.Sweep("f4:sequential")
 	for _, id := range []vlm.ModelID{vlm.Gemini15Pro, vlm.ChatGPT4oMini} {
 		fmt.Printf("%s:\n%-18s %9s %9s\n", id, "Indicator", "Parallel", "Sequential")
-		par, err := evalModel(ctx, ev, mk, id, core.LLMOptions{Mode: prompt.Parallel})
-		if err != nil {
-			return err
-		}
-		seq, err := evalModel(ctx, ev, mk, id, core.LLMOptions{Mode: prompt.Sequential})
-		if err != nil {
-			return err
-		}
+		par, seq := parSweep.Report(string(id)), seqSweep.Report(string(id))
 		var pSum, sSum float64
 		for _, ind := range scene.Indicators() {
 			pr, sr := par.Of(ind).Recall(), seq.Of(ind).Recall()
@@ -274,51 +197,23 @@ func fig4(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
 		}
 		fmt.Printf("%-18s %9.2f %9.2f\n", "Average", pSum/6, sSum/6)
 	}
-	return nil
 }
 
-func fig5(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
+func printFig5(res *experiment.Result) error {
 	fmt.Println("\nFig. 5 — average accuracy per model and majority voting:")
-	reports, err := evalAll(ctx, ev, mk, core.LLMOptions{})
-	if err != nil {
-		return err
-	}
+	models := res.Sweep("f5:models")
 	for _, id := range vlm.AllModels() {
-		_, _, _, acc := reports[id].Averages()
+		_, _, _, acc := models.Report(string(id)).Averages()
 		fmt.Printf("%-18s %6.2f%%\n", id, acc*100)
 	}
-	// Top three vote through the same backend family: local members
-	// reproduce the in-process committee exactly, http members run the
-	// committee fully remotely (and bit-identically, thanks to the
-	// lossless transport).
-	top, err := ensemble.SelectTop(reports, 3)
-	if err != nil {
-		return err
-	}
-	committee := make([]vlm.ModelID, len(top))
-	members := make([]backend.Backend, len(top))
-	for i, s := range top {
-		committee[i] = s.ID
-		members[i], err = mk(s.ID)
-		if err != nil {
-			return err
-		}
-	}
-	voting, err := backend.NewVoting("majority voting", members...)
-	if err != nil {
-		return err
-	}
-	votingReport, err := ev.EvaluateBackend(ctx, voting, core.LLMOptions{})
-	if err != nil {
-		return err
-	}
-	_, _, _, acc := votingReport.Averages()
-	fmt.Printf("%-18s %6.2f%%  (committee: %v)\n", "majority voting", acc*100, committee)
+	voting := res.Sweep("f5:voting").Reports[0]
+	_, _, _, acc := voting.Report.Averages()
+	fmt.Printf("%-18s %6.2f%%  (committee: %v)\n", "majority voting", acc*100, voting.Members)
 
 	labels := make([]string, 0, 5)
 	values := make([]float64, 0, 5)
 	for _, id := range vlm.AllModels() {
-		_, _, _, a := reports[id].Averages()
+		_, _, _, a := models.Report(string(id)).Averages()
 		labels = append(labels, string(id))
 		values = append(values, a)
 	}
@@ -333,7 +228,7 @@ func fig5(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
 	return nil
 }
 
-func fig6(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
+func printFig6(res *experiment.Result) error {
 	fmt.Println("\nFig. 6 — Gemini recall by prompt language:")
 	fmt.Printf("%-18s", "Indicator")
 	for _, lang := range prompt.Languages() {
@@ -342,11 +237,7 @@ func fig6(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
 	fmt.Println()
 	reports := make(map[prompt.Language]*metrics.ClassReport, 4)
 	for _, lang := range prompt.Languages() {
-		rep, err := evalModel(ctx, ev, mk, vlm.Gemini15Pro, core.LLMOptions{Language: lang})
-		if err != nil {
-			return err
-		}
-		reports[lang] = rep
+		reports[lang] = res.Sweep("f6:" + lang.String()).Report(string(vlm.Gemini15Pro))
 	}
 	for _, ind := range scene.Indicators() {
 		fmt.Printf("%-18s", ind.Abbrev())
@@ -386,24 +277,18 @@ func fig6(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
 	return nil
 }
 
-func params(ctx context.Context, ev *core.Evaluator, mk backendFactory) error {
+func printParams(res *experiment.Result) {
 	fmt.Println("\n§IV-C4 — Gemini F1 by sampling parameters:")
 	fmt.Printf("%-24s %8s\n", "setting", "avg F1")
-	for _, temp := range []float64{0.1, vlm.DefaultTemperature, 1.5} {
-		rep, err := evalModel(ctx, ev, mk, vlm.Gemini15Pro, core.LLMOptions{Temperature: temp})
-		if err != nil {
-			return err
-		}
+	gemini := string(vlm.Gemini15Pro)
+	for _, temp := range experiment.ParamTemperatures {
+		rep := res.Sweep(experiment.ParamSweepName("temperature", temp)).Report(gemini)
 		_, _, f1, _ := rep.Averages()
 		fmt.Printf("temperature %-12.1f %8.2f\n", temp, f1)
 	}
-	for _, topP := range []float64{0.5, 0.75, vlm.DefaultTopP} {
-		rep, err := evalModel(ctx, ev, mk, vlm.Gemini15Pro, core.LLMOptions{TopP: topP})
-		if err != nil {
-			return err
-		}
+	for _, topP := range experiment.ParamTopPs {
+		rep := res.Sweep(experiment.ParamSweepName("top_p", topP)).Report(gemini)
 		_, _, f1, _ := rep.Averages()
 		fmt.Printf("top-p %-18.2f %8.2f\n", topP, f1)
 	}
-	return nil
 }

@@ -3,18 +3,27 @@
 // committee, fuse headings per coordinate, and print the neighborhood
 // environment report (tract scores and health-outcome associations).
 //
+// The run is a declarative experiment spec executed by the streaming
+// runner: coordinate groups fan out across -workers evaluation workers
+// over the shared render/perception caches, and Ctrl-C cancels the
+// sweep cleanly mid-run.
+//
 // Usage:
 //
 //	nbhdreport -coords 150 -tract-feet 5000
+//	nbhdreport -workers 8        # cap the classification fan-out
+//	nbhdreport -run-dir runs     # leave a diffable run-artifact trail
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"nbhd/internal/core"
-	"nbhd/internal/ensemble"
+	"nbhd/internal/experiment"
 	"nbhd/internal/scene"
 )
 
@@ -30,23 +39,41 @@ func run() error {
 	seed := flag.Int64("seed", 1, "seed")
 	tractFeet := flag.Float64("tract-feet", 5000, "tract grid cell size in feet")
 	top := flag.Int("top", 5, "tracts to list per ranking")
+	workers := flag.Int("workers", 0, "evaluation worker budget (0 = GOMAXPROCS)")
+	runDir := flag.String("run-dir", "", "write run artifacts (manifest + analysis JSON) under this directory")
 	flag.Parse()
 
-	pipe, err := core.NewPipeline(core.Config{Coordinates: *coords, Seed: *seed})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	spec, err := experiment.Builtin("neighborhood", experiment.BuiltinConfig{Coordinates: *coords, Seed: *seed})
 	if err != nil {
 		return err
 	}
-	committee, err := ensemble.PaperCommittee()
+	// The spec is data: point its one analysis step at the requested
+	// tract grid before handing it to the runner.
+	spec.Analyses[0].TractFeet = *tractFeet
+
+	runRes, err := experiment.NewRunner(experiment.RunnerConfig{Workers: *workers}).Run(ctx, spec, nil)
 	if err != nil {
 		return err
 	}
-	res, err := pipe.AnalyzeNeighborhood(committee, *tractFeet)
-	if err != nil {
-		return err
+	if *runDir != "" {
+		store, err := experiment.NewStore(*runDir)
+		if err != nil {
+			return err
+		}
+		dir, err := store.Save("", runRes)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "nbhdreport: run artifacts in %s\n", dir)
 	}
+	res := runRes.Analysis("neighborhood").Result
+	committee := spec.Backends["committee"].Models
 
 	fmt.Printf("analyzed %d coordinates into %d tracts (committee: %v)\n",
-		len(res.Locations), len(res.Tracts), committee.Members())
+		len(res.Locations), len(res.Tracts), committee)
 
 	fmt.Println("\nmost walkable tracts:")
 	printTopScores(res, *top, func(s float64, best float64) bool { return s > best }, true)

@@ -10,6 +10,17 @@
 // library lives under internal/; the runnable tools under cmd/ and
 // examples/.
 //
+// The public face is the declarative experiment layer in
+// internal/experiment: an experiment is a JSON-round-trippable Spec
+// (dataset + named backend specs + sweeps + analyses) executed by a
+// streaming Runner that emits typed progress Events in deterministic
+// order and can persist every run as a diffable manifest + report-JSON
+// artifact directory (experiment.Store). Backends construct from
+// declarative specs through the registry (backend.Register /
+// backend.Open); the paper's experiments are built-in specs
+// (experiment.Builtin), and a golden test pins the runner's reports
+// byte-identical to the legacy Pipeline wrappers.
+//
 // Evaluation sweeps run on the concurrent engine in internal/core: a
 // shared render cache rasterizes each frame once per resolution, a
 // shared perception cache extracts features once per frame, and a

@@ -3,14 +3,22 @@
 // labeled split, evaluate the majority-voting LLM committee on the same
 // frames, and print both accuracy summaries side by side — showing the
 // trained detector ahead of the training-free committee, as in Fig. 5.
+//
+// The two layers coexist: detector training and mAP live on the core
+// pipeline (detection metrics are not a classification sweep), while
+// the committee evaluation is a declarative experiment spec over the
+// same dataset configuration. The runner assembles its own corpus from
+// that configuration — generation is deterministic in the seed, so the
+// two corpora are identical by value (the runner re-renders its own).
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"nbhd/internal/core"
-	"nbhd/internal/ensemble"
+	"nbhd/internal/experiment"
 	"nbhd/internal/scene"
 )
 
@@ -22,10 +30,15 @@ func main() {
 }
 
 func run() error {
-	pipe, err := core.NewPipeline(core.Config{
+	dataset := experiment.DatasetSpec{
 		Coordinates:       60,
 		Seed:              11,
 		DetectorInputSize: 48,
+	}
+	pipe, err := core.NewPipeline(core.Config{
+		Coordinates:       dataset.Coordinates,
+		Seed:              dataset.Seed,
+		DetectorInputSize: dataset.DetectorInputSize,
 	})
 	if err != nil {
 		return err
@@ -45,14 +58,21 @@ func run() error {
 	fmt.Printf("detector: avg F1 %.3f, mAP50 %.3f (test split)\n", detF1, baseline.MAP50)
 
 	fmt.Println("\nevaluating LLM committee (training-free)...")
-	committee, err := ensemble.PaperCommittee()
+	spec, err := experiment.Builtin("neighborhood", experiment.BuiltinConfig{
+		Coordinates: dataset.Coordinates,
+		Seed:        dataset.Seed,
+	})
 	if err != nil {
 		return err
 	}
-	report, err := pipe.EvaluateClassifier(committee, core.LLMOptions{})
+	spec.Dataset = dataset
+	spec.Analyses = nil
+	spec.Sweeps = []experiment.SweepSpec{{Name: "committee", Backends: []string{"committee"}}}
+	res, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
 	if err != nil {
 		return err
 	}
+	report := res.Sweep("committee").Report("committee")
 	_, _, _, llmAcc := report.Averages()
 	fmt.Printf("committee: avg accuracy %.3f over %d frames\n", llmAcc, pipe.Study.Len())
 

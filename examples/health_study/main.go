@@ -6,15 +6,20 @@
 // the *detected* (not ground-truth) indicator rates recover those signs —
 // i.e., the pipeline is accurate enough to support the downstream
 // epidemiology it is meant to feed.
+//
+// The detection-and-aggregation half is the built-in "neighborhood"
+// experiment spec (committee sweep + heading fusion + tract bucketing)
+// run declaratively; the epidemiology on top stays ordinary code over
+// the run's tract profiles.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"nbhd/internal/analysis"
-	"nbhd/internal/core"
-	"nbhd/internal/ensemble"
+	"nbhd/internal/experiment"
 	"nbhd/internal/scene"
 )
 
@@ -26,19 +31,17 @@ func main() {
 }
 
 func run() error {
-	pipe, err := core.NewPipeline(core.Config{Coordinates: 120, Seed: 23})
+	spec, err := experiment.Builtin("neighborhood", experiment.BuiltinConfig{Coordinates: 120, Seed: 23})
 	if err != nil {
 		return err
 	}
-	committee, err := ensemble.PaperCommittee()
-	if err != nil {
-		return err
-	}
+	spec.Analyses[0].TractFeet = 4000
 	fmt.Println("classifying 480 frames with the 3-model committee...")
-	res, err := pipe.AnalyzeNeighborhood(committee, 4000)
+	runRes, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
 	if err != nil {
 		return err
 	}
+	res := runRes.Analysis("neighborhood").Result
 	fmt.Printf("aggregated %d coordinates into %d tracts\n\n", len(res.Locations), len(res.Tracts))
 
 	// Synthetic outcomes from the literature-shaped model.

@@ -1,11 +1,11 @@
 // LLM ensemble over the wire: start the simulated LLM API service on a
-// local port, sweep all four models over the corpus through the
-// evaluation engine's HTTP backend (bounded in-flight requests, retries
-// with jittered backoff against injected 429s), majority-vote the top
-// three with a remote voting backend, and print the accuracy ladder —
-// Fig. 5 reproduced end-to-end through the network stack. With the
-// client's lossless image encoding, every number matches what the same
-// sweep produces in-process.
+// local port, then execute the built-in Fig. 5 experiment spec against
+// it — every model backend in the spec is an HTTP spec, so the whole
+// sweep (bounded in-flight requests, retries with jittered backoff
+// against injected 429s) and the top-three majority vote run through
+// the network stack, driven by the same declarative runner that drives
+// the in-process sweeps. With the default lossless image encoding,
+// every number matches what the same spec produces locally.
 package main
 
 import (
@@ -16,10 +16,7 @@ import (
 	"os"
 	"time"
 
-	"nbhd/internal/backend"
-	"nbhd/internal/core"
-	"nbhd/internal/ensemble"
-	"nbhd/internal/llmclient"
+	"nbhd/internal/experiment"
 	"nbhd/internal/llmserve"
 	"nbhd/internal/vlm"
 )
@@ -32,13 +29,6 @@ func main() {
 }
 
 func run() error {
-	// Corpus: 40 coordinates x 4 headings, with the shared render cache
-	// the engine uses for every sweep below.
-	pipe, err := core.NewPipeline(core.Config{Coordinates: 40, Seed: 3})
-	if err != nil {
-		return err
-	}
-
 	// Service with mild chaos: 5% of requests get a 429 advertising the
 	// default Retry-After: 1.
 	srv, err := llmserve.NewBuiltin(llmserve.Config{
@@ -57,68 +47,49 @@ func run() error {
 	baseURL := "http://" + ln.Addr().String()
 	fmt.Printf("LLM service on %s (5%% injected 429s)\n", baseURL)
 
-	// MaxRetryAfter caps how long we honor the server's pacing so the
-	// demo stays snappy under chaos.
-	client, err := llmclient.New(llmclient.Config{
-		BaseURL:       baseURL,
-		MaxRetries:    6,
-		BaseBackoff:   5 * time.Millisecond,
-		MaxRetryAfter: 50 * time.Millisecond,
-		Encoding:      llmclient.EncodeRawF32,
+	// The paper's Fig. 5 as a spec, pointed at the server: 40
+	// coordinates x 4 headings, four remote model sweeps, then the
+	// top-three vote — still fully remote, the voting composite fans
+	// each frame to its member HTTP backends.
+	spec, err := experiment.Builtin("f5", experiment.BuiltinConfig{
+		Coordinates: 40,
+		Seed:        3,
+		BaseURL:     baseURL,
 	})
 	if err != nil {
 		return err
 	}
-	httpBackend := func(id vlm.ModelID) (backend.Backend, error) {
-		return backend.NewHTTP(backend.HTTPConfig{Client: client, Model: id, MaxInFlight: 8})
+	// The spec is data: tune every HTTP backend's transport for the
+	// chaos demo — wider in-flight budget, more retries with a short
+	// first backoff, and a 50ms cap on honoring the server's
+	// Retry-After so the run stays snappy under injected 429s.
+	for name, b := range spec.Backends {
+		b.MaxInFlight = 8
+		b.MaxRetries = 6
+		b.BaseBackoffMS = 5
+		b.MaxRetryAfterMS = 50
+		spec.Backends[name] = b
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
-	ev := pipe.NewEvaluator(core.EvalConfig{})
-
-	// Sweep every model over the corpus through HTTP via the engine.
-	backends := make(map[vlm.ModelID]backend.Backend, 4)
-	for _, id := range vlm.AllModels() {
-		b, err := httpBackend(id)
-		if err != nil {
-			return err
+	res, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(ctx, spec, func(ev experiment.Event) {
+		if ev.Kind == experiment.SweepStarted {
+			fmt.Printf("sweep %s...\n", ev.Step)
 		}
-		backends[id] = b
-	}
-	reports, err := ev.EvaluateModels(ctx, backends, core.LLMOptions{})
+	})
 	if err != nil {
 		return err
-	}
-	for _, id := range vlm.AllModels() {
-		_, _, _, acc := reports[id].Averages()
-		fmt.Printf("%-18s accuracy %.3f (%d frames over HTTP)\n", id, acc, pipe.Study.Len())
 	}
 
-	// Select the top three and vote them — still fully remote: the
-	// voting backend fans each frame to its member HTTP backends.
-	top, err := ensemble.SelectTop(reports, 3)
-	if err != nil {
-		return err
+	frames := spec.Dataset.Coordinates * 4
+	models := res.Sweep("f5:models")
+	for _, id := range vlm.AllModels() {
+		_, _, _, acc := models.Report(string(id)).Averages()
+		fmt.Printf("%-18s accuracy %.3f (%d frames over HTTP)\n", id, acc, frames)
 	}
-	committee := make([]vlm.ModelID, len(top))
-	members := make([]backend.Backend, len(top))
-	for i, s := range top {
-		committee[i] = s.ID
-		members[i], err = httpBackend(s.ID)
-		if err != nil {
-			return err
-		}
-	}
-	voting, err := backend.NewVoting("majority voting", members...)
-	if err != nil {
-		return err
-	}
-	votedReport, err := ev.EvaluateBackend(ctx, voting, core.LLMOptions{})
-	if err != nil {
-		return err
-	}
-	_, _, _, votedAcc := votedReport.Averages()
-	fmt.Printf("%-18s accuracy %.3f (committee %v)\n", "majority voting", votedAcc, committee)
+	voting := res.Sweep("f5:voting").Reports[0]
+	_, _, _, votedAcc := voting.Report.Averages()
+	fmt.Printf("%-18s accuracy %.3f (committee %v)\n", "majority voting", votedAcc, voting.Members)
 	return nil
 }

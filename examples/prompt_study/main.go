@@ -3,13 +3,18 @@
 // corpus: parallel beats sequential prompting (Fig. 4), English beats the
 // other prompt languages with a Chinese sidewalk collapse (Fig. 6), and
 // temperature barely matters (§IV-C4).
+//
+// The whole study is one declarative spec — nine sweeps over one corpus
+// — executed in a single runner pass over the shared caches.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"nbhd/internal/core"
+	"nbhd/internal/backend"
+	"nbhd/internal/experiment"
 	"nbhd/internal/prompt"
 	"nbhd/internal/scene"
 	"nbhd/internal/vlm"
@@ -22,16 +27,31 @@ func main() {
 	}
 }
 
+var temperatures = []float64{0.1, 1.0, 1.5}
+
 func run() error {
-	pipe, err := core.NewPipeline(core.Config{Coordinates: 60, Seed: 17})
-	if err != nil {
-		return err
+	gemini := string(vlm.Gemini15Pro)
+	spec := experiment.Spec{
+		Name:     "prompt-study",
+		Dataset:  experiment.DatasetSpec{Coordinates: 60, Seed: 17},
+		Backends: map[string]backend.Spec{gemini: {Kind: "vlm", Model: gemini}},
 	}
-	profile, err := vlm.ProfileFor(vlm.Gemini15Pro)
-	if err != nil {
-		return err
+	sweep := func(name string, opts experiment.OptionsSpec) {
+		spec.Sweeps = append(spec.Sweeps, experiment.SweepSpec{
+			Name: name, Backends: []string{gemini}, Options: opts,
+		})
 	}
-	model, err := vlm.NewModel(profile)
+	for _, mode := range []prompt.Mode{prompt.Parallel, prompt.Sequential} {
+		sweep("mode:"+mode.String(), experiment.OptionsSpec{Mode: mode.String()})
+	}
+	for _, lang := range prompt.Languages() {
+		sweep("lang:"+lang.String(), experiment.OptionsSpec{Language: lang.String()})
+	}
+	for _, temp := range temperatures {
+		sweep(fmt.Sprintf("temp:%.1f", temp), experiment.OptionsSpec{Temperature: temp})
+	}
+
+	res, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
 	if err != nil {
 		return err
 	}
@@ -39,10 +59,7 @@ func run() error {
 	// 1. Prompt structure.
 	fmt.Println("prompt structure (Gemini, avg recall):")
 	for _, mode := range []prompt.Mode{prompt.Parallel, prompt.Sequential} {
-		rep, err := pipe.EvaluateClassifier(model, core.LLMOptions{Mode: mode})
-		if err != nil {
-			return err
-		}
+		rep := res.Sweep("mode:" + mode.String()).Report(gemini)
 		_, recall, _, _ := rep.Averages()
 		fmt.Printf("  %-12s %.3f\n", mode, recall)
 	}
@@ -50,21 +67,15 @@ func run() error {
 	// 2. Prompt language.
 	fmt.Println("\nprompt language (Gemini, avg recall / sidewalk recall):")
 	for _, lang := range prompt.Languages() {
-		rep, err := pipe.EvaluateClassifier(model, core.LLMOptions{Language: lang})
-		if err != nil {
-			return err
-		}
+		rep := res.Sweep("lang:" + lang.String()).Report(gemini)
 		_, recall, _, _ := rep.Averages()
 		fmt.Printf("  %-10s %.3f / %.3f\n", lang, recall, rep.Of(scene.Sidewalk).Recall())
 	}
 
 	// 3. Temperature.
 	fmt.Println("\ntemperature (Gemini, avg F1):")
-	for _, temp := range []float64{0.1, 1.0, 1.5} {
-		rep, err := pipe.EvaluateClassifier(model, core.LLMOptions{Temperature: temp})
-		if err != nil {
-			return err
-		}
+	for _, temp := range temperatures {
+		rep := res.Sweep(fmt.Sprintf("temp:%.1f", temp)).Report(gemini)
 		_, _, f1, _ := rep.Averages()
 		fmt.Printf("  %-6.1f %.3f\n", temp, f1)
 	}

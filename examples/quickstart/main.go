@@ -1,16 +1,18 @@
-// Quickstart: generate one synthetic street-view frame, render it, ask a
-// simulated LLM about the six environmental indicators, and compare the
-// answers against ground truth — the library's core loop in ~60 lines.
+// Quickstart: an experiment is data. Declare a spec — corpus, named
+// backends, one sweep — hand it to the runner, and read the report: the
+// whole public API in about ten lines. The same spec serializes to JSON
+// (printed below), so this exact run can live in a file, a PR diff, or
+// a CI job.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"nbhd/internal/geo"
-	"nbhd/internal/render"
+	"nbhd/internal/backend"
+	"nbhd/internal/experiment"
 	"nbhd/internal/scene"
-	"nbhd/internal/vlm"
 )
 
 func main() {
@@ -21,56 +23,33 @@ func main() {
 }
 
 func run() error {
-	// A sample point on an urban multilane road, facing along the road.
-	point := geo.SamplePoint{
-		Coordinate: geo.Coordinate{Lat: 35.99, Lng: -78.90},
-		RoadID:     1,
-		RoadClass:  geo.RoadMultiLane,
-		Urbanicity: 0.85,
-		BearingDeg: 0,
+	// The ten lines: declare the experiment, run it, fetch the report.
+	spec := experiment.Spec{
+		Name:     "quickstart",
+		Dataset:  experiment.DatasetSpec{Coordinates: 20, Seed: 7},
+		Backends: map[string]backend.Spec{"gemini": {Kind: "vlm", Model: "gemini-1.5-pro"}},
+		Sweeps:   []experiment.SweepSpec{{Name: "demo", Backends: []string{"gemini"}}},
 	}
-
-	// Ground truth: which indicators the generator placed in the frame.
-	gen := scene.NewGenerator(nil)
-	frame, err := gen.Generate("quickstart-0000-n", point, geo.HeadingNorth, 7)
+	res, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
 	if err != nil {
 		return err
 	}
+	rep := res.Sweep("demo").Report("gemini")
 
-	// Pixels: the synthetic stand-in for a Street View photograph.
-	img, err := render.Render(frame, render.Config{Width: 128, Height: 128})
+	// The rest is presentation.
+	text, err := experiment.MarshalIndentSpec(spec)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("the spec, as it would live in a JSON file:\n%s\n", text)
 
-	// A simulated LLM, calibrated to the paper's Gemini 1.5 Pro.
-	profile, err := vlm.ProfileFor(vlm.Gemini15Pro)
-	if err != nil {
-		return err
+	fmt.Printf("%-18s %9s %9s %9s %9s\n", "indicator", "Precision", "Recall", "F1", "Accuracy")
+	for _, ind := range scene.Indicators() {
+		c := rep.Of(ind)
+		fmt.Printf("%-18s %9.2f %9.2f %9.2f %9.2f\n", ind.String(), c.Precision(), c.Recall(), c.F1(), c.Accuracy())
 	}
-	model, err := vlm.NewModel(profile)
-	if err != nil {
-		return err
-	}
-
-	inds := scene.Indicators()
-	answers, err := model.Classify(vlm.Request{Image: img, Indicators: inds[:]})
-	if err != nil {
-		return err
-	}
-
-	truth := frame.Presence()
-	fmt.Printf("%-18s %8s %8s\n", "indicator", "truth", "LLM")
-	correct := 0
-	for i, ind := range inds {
-		mark := ""
-		if answers[i] == truth[i] {
-			correct++
-		} else {
-			mark = "  <-- wrong"
-		}
-		fmt.Printf("%-18s %8v %8v%s\n", ind.String(), truth[i], answers[i], mark)
-	}
-	fmt.Printf("\n%d/%d correct\n", correct, len(inds))
+	p, r, f1, acc := rep.Averages()
+	fmt.Printf("%-18s %9.2f %9.2f %9.2f %9.2f\n", "Average", p, r, f1, acc)
+	fmt.Printf("\n%d frames classified by a simulated Gemini 1.5 Pro.\n", rep.Of(scene.Sidewalk).Total())
 	return nil
 }

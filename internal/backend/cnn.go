@@ -8,6 +8,23 @@ import (
 	"nbhd/internal/render"
 )
 
+func init() {
+	Register("cnn", func(ctx context.Context, s Spec, env Env) (Backend, error) {
+		if env == nil {
+			return nil, fmt.Errorf("cnn spec needs an environment to train in (use OpenWith)")
+		}
+		epochs := s.Epochs
+		if epochs == 0 {
+			epochs = 20
+		}
+		m, err := env.TrainSceneCNN(ctx, epochs)
+		if err != nil {
+			return nil, err
+		}
+		return NewCNN(m, s.Threshold)
+	})
+}
+
 // CNN adapts the multi-label scene-classification baseline (§IV-B3) to
 // the Backend interface: per-indicator presence probabilities from the
 // compact CNN, thresholded into Yes/No answers.

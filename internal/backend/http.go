@@ -4,10 +4,47 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"nbhd/internal/llmclient"
 	"nbhd/internal/vlm"
 )
+
+func init() {
+	Register("http", func(ctx context.Context, s Spec, env Env) (Backend, error) {
+		if s.BaseURL == "" {
+			return nil, fmt.Errorf("http spec needs a base_url")
+		}
+		var enc llmclient.ImageEncoding
+		switch s.Encoding {
+		case "", "raw_f32":
+			// Lossless by default so spec-driven remote runs reproduce
+			// in-process reports bit for bit.
+			enc = llmclient.EncodeRawF32
+		case "png":
+			enc = llmclient.EncodePNG
+		default:
+			return nil, fmt.Errorf("http spec has unknown encoding %q (want raw_f32 or png)", s.Encoding)
+		}
+		client, err := llmclient.New(llmclient.Config{
+			BaseURL:       s.BaseURL,
+			APIKey:        s.APIKey,
+			Encoding:      enc,
+			MaxRetries:    s.MaxRetries,
+			BaseBackoff:   time.Duration(s.BaseBackoffMS) * time.Millisecond,
+			MaxRetryAfter: time.Duration(s.MaxRetryAfterMS) * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewHTTP(HTTPConfig{
+			Client:         client,
+			Model:          vlm.ModelID(s.Model),
+			MaxInFlight:    s.MaxInFlight,
+			PreferredBatch: s.PreferredBatch,
+		})
+	})
+}
 
 // HTTPConfig configures the remote HTTP backend.
 type HTTPConfig struct {

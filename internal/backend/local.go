@@ -30,6 +30,46 @@ var (
 	_ PerceivingClassifier = (*ensemble.Committee)(nil)
 )
 
+func init() {
+	Register("vlm", func(ctx context.Context, s Spec, env Env) (Backend, error) {
+		m, err := specModel(s.Model)
+		if err != nil {
+			return nil, err
+		}
+		return NewVLM(m)
+	})
+	Register("committee", func(ctx context.Context, s Spec, env Env) (Backend, error) {
+		if len(s.Models) == 0 {
+			return nil, fmt.Errorf("committee spec needs models")
+		}
+		members := make([]*vlm.Model, 0, len(s.Models))
+		for _, id := range s.Models {
+			m, err := specModel(id)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, m)
+		}
+		c, err := ensemble.NewCommittee(members...)
+		if err != nil {
+			return nil, err
+		}
+		return NewCommittee(c)
+	})
+}
+
+// specModel builds one builtin simulated model from its spec ID.
+func specModel(id string) (*vlm.Model, error) {
+	if id == "" {
+		return nil, fmt.Errorf("spec needs a model ID (one of %v)", vlm.AllModels())
+	}
+	profile, err := vlm.ProfileFor(vlm.ModelID(id))
+	if err != nil {
+		return nil, err
+	}
+	return vlm.NewModel(profile)
+}
+
 // Local adapts an in-process Classifier to the Backend interface. Its
 // answers are bit-identical to calling the classifier directly: the
 // adapter builds the same vlm.Request the pre-backend evaluation loop

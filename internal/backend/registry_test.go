@@ -1,0 +1,112 @@
+package backend_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nbhd/internal/backend"
+	"nbhd/internal/vlm"
+)
+
+func TestOpenUnknownKindListsRegistered(t *testing.T) {
+	_, err := backend.Open(context.Background(), backend.Spec{Kind: "nope"})
+	if err == nil {
+		t.Fatal("Open accepted an unknown kind")
+	}
+	for _, kind := range []string{"nope", "vlm", "http", "yolo", "cnn", "voting", "committee"} {
+		if !strings.Contains(err.Error(), kind) {
+			t.Errorf("error %q does not mention %q", err, kind)
+		}
+	}
+}
+
+func TestOpenVLMSpec(t *testing.T) {
+	b, err := backend.Open(context.Background(), backend.Spec{Kind: "vlm", Model: string(vlm.Gemini15Pro)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Name(); got != "vlm:gemini-1.5-pro" {
+		t.Errorf("opened backend named %q", got)
+	}
+	if !b.Capabilities().PerceivedFeatures {
+		t.Error("vlm backend should consume the perception cache")
+	}
+}
+
+func TestOpenVLMSpecUnknownModel(t *testing.T) {
+	if _, err := backend.Open(context.Background(), backend.Spec{Kind: "vlm", Model: "gpt-9"}); err == nil {
+		t.Fatal("Open accepted an unknown model ID")
+	}
+	if _, err := backend.Open(context.Background(), backend.Spec{Kind: "vlm"}); err == nil {
+		t.Fatal("Open accepted a vlm spec with no model")
+	}
+}
+
+func TestOpenVotingSpecRecursesMembers(t *testing.T) {
+	spec := backend.Spec{
+		Kind: "voting",
+		Name: "duo",
+		Members: []backend.Spec{
+			{Kind: "vlm", Model: string(vlm.Gemini15Pro)},
+			{Kind: "vlm", Model: string(vlm.Claude37)},
+		},
+	}
+	b, err := backend.Open(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Name(); got != "duo" {
+		t.Errorf("voting backend named %q", got)
+	}
+	bad := spec
+	bad.Members = append(bad.Members, backend.Spec{Kind: "bogus"})
+	if _, err := backend.Open(context.Background(), bad); err == nil {
+		t.Fatal("Open accepted a voting spec with an unknown member kind")
+	}
+}
+
+func TestOpenTrainedKindsNeedEnv(t *testing.T) {
+	for _, kind := range []string{"yolo", "cnn"} {
+		if _, err := backend.Open(context.Background(), backend.Spec{Kind: kind}); err == nil {
+			t.Errorf("Open %s without an env should fail", kind)
+		}
+	}
+}
+
+func TestRegisterCustomKind(t *testing.T) {
+	backend.Register("registry-test-custom", func(ctx context.Context, s backend.Spec, env backend.Env) (backend.Backend, error) {
+		return backend.NewLocal("custom", stubClassifier{})
+	})
+	b, err := backend.Open(context.Background(), backend.Spec{Kind: "registry-test-custom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "custom" {
+		t.Errorf("custom backend named %q", b.Name())
+	}
+	found := false
+	for _, k := range backend.Kinds() {
+		if k == "registry-test-custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Kinds does not list the custom kind")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	backend.Register("registry-test-custom", func(ctx context.Context, s backend.Spec, env backend.Env) (backend.Backend, error) {
+		return nil, nil
+	})
+}
+
+// stubClassifier answers "no" to everything.
+type stubClassifier struct{}
+
+func (stubClassifier) Classify(req vlm.Request) ([]bool, error) {
+	return make([]bool, len(req.Indicators)), nil
+}

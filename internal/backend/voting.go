@@ -9,6 +9,23 @@ import (
 	"nbhd/internal/ensemble"
 )
 
+func init() {
+	Register("voting", func(ctx context.Context, s Spec, env Env) (Backend, error) {
+		if len(s.Members) == 0 {
+			return nil, fmt.Errorf("voting spec needs members")
+		}
+		members := make([]Backend, 0, len(s.Members))
+		for i, ms := range s.Members {
+			m, err := OpenWith(ctx, ms, env)
+			if err != nil {
+				return nil, fmt.Errorf("member %d: %w", i, err)
+			}
+			members = append(members, m)
+		}
+		return NewVoting(s.Name, members...)
+	})
+}
+
 // Voting majority-votes the answers of member backends — the
 // backend-layer generalization of ensemble.Committee. Because it uses
 // the same ensemble.Vote rule, a Voting backend over Local members is

@@ -9,6 +9,23 @@ import (
 	"nbhd/internal/yolo"
 )
 
+func init() {
+	Register("yolo", func(ctx context.Context, s Spec, env Env) (Backend, error) {
+		if env == nil {
+			return nil, fmt.Errorf("yolo spec needs an environment to train in (use OpenWith)")
+		}
+		epochs := s.Epochs
+		if epochs == 0 {
+			epochs = 20
+		}
+		m, err := env.TrainDetector(ctx, epochs)
+		if err != nil {
+			return nil, err
+		}
+		return NewYOLO(m, s.ScoreThresh, s.NMSIoU)
+	})
+}
+
 // YOLO adapts the trained grid detector to the Backend interface by
 // deriving image-level indicator presence from its detections: an
 // indicator is predicted present when any detection of that class clears

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nbhd/internal/analysis"
 	"nbhd/internal/backend"
 	"nbhd/internal/ensemble"
 	"nbhd/internal/metrics"
@@ -72,6 +73,50 @@ func (p *Pipeline) features(img *render.Image) (vlm.Features, error) {
 	return e.feats, e.err
 }
 
+// renderSizeFor resolves the resolution a backend's frames render at:
+// its capability hint, or the pipeline's LLM render size.
+func (p *Pipeline) renderSizeFor(caps backend.Capabilities) int {
+	if caps.RenderSize > 0 {
+		return caps.RenderSize
+	}
+	return p.cfg.LLMRenderSize
+}
+
+// frameItems builds backend items for corpus frames [start,end) from the
+// shared render and perception caches at the given resolution — the one
+// batch-assembly path every sweep (classification and neighborhood
+// analysis alike) goes through.
+func (p *Pipeline) frameItems(start, end, size int, wantFeats bool) ([]backend.Item, error) {
+	items := make([]backend.Item, 0, end-start)
+	for i := start; i < end; i++ {
+		ex, err := p.cache.Example(i, size)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		item := backend.Item{ID: ex.ID, Image: ex.Image}
+		if wantFeats {
+			feats, err := p.features(ex.Image)
+			if err != nil {
+				return nil, fmt.Errorf("core: perceive %s: %w", ex.ID, err)
+			}
+			item.Feats = &feats
+		}
+		items = append(items, item)
+	}
+	return items, nil
+}
+
+// classifySemFor returns the semaphore bounding concurrent Classify
+// calls for a backend, or nil when the worker count already respects the
+// backend's limit. Workers above the cap still render and perceive in
+// parallel (the caches' main win), queuing only for classification.
+func classifySemFor(caps backend.Capabilities, workers int) chan struct{} {
+	if caps.MaxConcurrency > 0 && caps.MaxConcurrency < workers {
+		return make(chan struct{}, caps.MaxConcurrency)
+	}
+	return nil
+}
+
 // localBackend adapts an in-process Classifier to the backend layer,
 // labeling the known families for better errors.
 func localBackend(c Classifier) (*backend.Local, error) {
@@ -113,10 +158,7 @@ func (e *Evaluator) EvaluateBackend(ctx context.Context, b backend.Backend, opts
 	if opts.FrameLimit > 0 && opts.FrameLimit < n {
 		n = opts.FrameLimit
 	}
-	size := caps.RenderSize
-	if size <= 0 {
-		size = p.cfg.LLMRenderSize
-	}
+	size := p.renderSizeFor(caps)
 	batch := caps.PreferredBatch
 	if batch < 1 {
 		batch = 1
@@ -129,21 +171,9 @@ func (e *Evaluator) EvaluateBackend(ctx context.Context, b backend.Backend, opts
 	if workers < 1 {
 		workers = 1
 	}
-	// MaxConcurrency bounds concurrent Classify calls only — workers
-	// above the cap still render and perceive in parallel (the caches'
-	// main win), queuing on the semaphore just for classification.
-	var classifySem chan struct{}
-	if caps.MaxConcurrency > 0 && caps.MaxConcurrency < workers {
-		classifySem = make(chan struct{}, caps.MaxConcurrency)
-	}
-	inds := scene.Indicators()
-	options := backend.Options{
-		Indicators:  inds[:],
-		Language:    opts.Language,
-		Mode:        opts.Mode,
-		Temperature: opts.Temperature,
-		TopP:        opts.TopP,
-	}
+	classifySem := classifySemFor(caps, workers)
+	options := opts.backendOptions()
+	inds := options.Indicators
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -178,23 +208,10 @@ func (e *Evaluator) EvaluateBackend(ctx context.Context, b backend.Backend, opts
 				if end > n {
 					end = n
 				}
-				items := make([]backend.Item, 0, end-start)
-				for i := start; i < end; i++ {
-					ex, err := p.cache.Example(i, size)
-					if err != nil {
-						fail(fmt.Errorf("core: %w", err))
-						return
-					}
-					item := backend.Item{ID: ex.ID, Image: ex.Image}
-					if caps.PerceivedFeatures {
-						feats, err := p.features(ex.Image)
-						if err != nil {
-							fail(fmt.Errorf("core: perceive %s: %w", ex.ID, err))
-							return
-						}
-						item.Feats = &feats
-					}
-					items = append(items, item)
+				items, err := p.frameItems(start, end, size, caps.PerceivedFeatures)
+				if err != nil {
+					fail(err)
+					return
 				}
 				if classifySem != nil {
 					select {
@@ -241,37 +258,32 @@ func (e *Evaluator) EvaluateBackend(ctx context.Context, b backend.Backend, opts
 	return &report, nil
 }
 
-// EvaluateModels evaluates one backend per model concurrently over the
-// shared caches and returns their reports keyed by ID. The evaluator's
-// worker budget is divided among the sweeps so the total fan-out stays
-// at ~e.workers rather than models × workers. The first backend error
-// cancels the others.
-func (e *Evaluator) EvaluateModels(ctx context.Context, backends map[vlm.ModelID]backend.Backend, opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
+// EvaluateBackendSet evaluates several backends concurrently over the
+// shared caches and returns their reports in input order. The
+// evaluator's worker budget is divided among the sweeps so the total
+// fan-out stays at ~e.workers rather than backends × workers. The first
+// backend error cancels the others.
+func (e *Evaluator) EvaluateBackendSet(ctx context.Context, backends []backend.Backend, opts LLMOptions) ([]*metrics.ClassReport, error) {
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("core: no backends to evaluate")
 	}
-	ids := make([]vlm.ModelID, 0, len(backends))
-	for id := range backends {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-	perSweep := e.workers / len(ids)
+	perSweep := e.workers / len(backends)
 	if perSweep < 1 {
 		perSweep = 1
 	}
 	sub := &Evaluator{pipe: e.pipe, workers: perSweep}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	reports := make([]*metrics.ClassReport, len(ids))
-	errs := make([]error, len(ids))
+	reports := make([]*metrics.ClassReport, len(backends))
+	errs := make([]error, len(backends))
 	var wg sync.WaitGroup
-	for i := range ids {
+	for i := range backends {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rep, err := sub.EvaluateBackend(ctx, backends[ids[i]], opts)
+			rep, err := sub.EvaluateBackend(ctx, backends[i], opts)
 			if err != nil {
-				errs[i] = fmt.Errorf("core: %s: %w", ids[i], err)
+				errs[i] = fmt.Errorf("core: %s: %w", backends[i].Name(), err)
 				cancel()
 				return
 			}
@@ -279,7 +291,7 @@ func (e *Evaluator) EvaluateModels(ctx context.Context, backends map[vlm.ModelID
 		}(i)
 	}
 	wg.Wait()
-	// Report errors in model order so failures are deterministic even
+	// Report errors in input order so failures are deterministic even
 	// when several backends fail at once — but skip the secondary
 	// cancellations our own cancel() induced in sibling sweeps, so the
 	// root cause isn't masked.
@@ -299,6 +311,29 @@ func (e *Evaluator) EvaluateModels(ctx context.Context, backends map[vlm.ModelID
 	if canceled != nil {
 		return nil, canceled
 	}
+	return reports, nil
+}
+
+// EvaluateModels evaluates one backend per model concurrently and
+// returns their reports keyed by ID — the map-shaped veneer over
+// EvaluateBackendSet the model sweeps use.
+func (e *Evaluator) EvaluateModels(ctx context.Context, backends map[vlm.ModelID]backend.Backend, opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("core: no backends to evaluate")
+	}
+	ids := make([]vlm.ModelID, 0, len(backends))
+	for id := range backends {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	ordered := make([]backend.Backend, len(ids))
+	for i, id := range ids {
+		ordered[i] = backends[id]
+	}
+	reports, err := e.EvaluateBackendSet(ctx, ordered, opts)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[vlm.ModelID]*metrics.ClassReport, len(ids))
 	for i, id := range ids {
 		out[id] = reports[i]
@@ -307,19 +342,13 @@ func (e *Evaluator) EvaluateModels(ctx context.Context, backends map[vlm.ModelID
 }
 
 // EvaluateAllLLMs evaluates the four built-in models concurrently over
-// the shared caches and returns their reports keyed by ID.
+// the shared caches and returns their reports keyed by ID. Each model
+// backend opens from its one-line declarative spec — the same spec a
+// full experiment names.
 func (e *Evaluator) EvaluateAllLLMs(ctx context.Context, opts LLMOptions) (map[vlm.ModelID]*metrics.ClassReport, error) {
 	backends := make(map[vlm.ModelID]backend.Backend, len(vlm.AllModels()))
 	for _, id := range vlm.AllModels() {
-		profile, err := vlm.ProfileFor(id)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		m, err := vlm.NewModel(profile)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		b, err := backend.NewVLM(m)
+		b, err := backend.Open(ctx, backend.Spec{Kind: "vlm", Model: string(id)})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -329,34 +358,138 @@ func (e *Evaluator) EvaluateAllLLMs(ctx context.Context, opts LLMOptions) (map[v
 }
 
 // RunMajorityVoting selects the top three models from the per-model
-// reports and evaluates their committee over the shared caches — no
-// frame is re-rendered or re-perceived after the per-model sweeps.
+// reports and evaluates their majority vote over the shared caches — no
+// frame is re-rendered or re-perceived after the per-model sweeps. The
+// committee runs through the generic voting composite, the same path a
+// declarative vote-top sweep takes; its reports are bit-identical to the
+// historical in-process committee.
 func (e *Evaluator) RunMajorityVoting(ctx context.Context, reports map[vlm.ModelID]*metrics.ClassReport, opts LLMOptions) (*VotingResult, error) {
 	top, err := ensemble.SelectTop(reports, 3)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	models := make([]*vlm.Model, 0, len(top))
+	members := make([]backend.Backend, 0, len(top))
 	ids := make([]vlm.ModelID, 0, len(top))
 	for _, s := range top {
-		profile, err := vlm.ProfileFor(s.ID)
+		b, err := backend.Open(ctx, backend.Spec{Kind: "vlm", Model: string(s.ID)})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		m, err := vlm.NewModel(profile)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		models = append(models, m)
+		members = append(members, b)
 		ids = append(ids, s.ID)
 	}
-	committee, err := ensemble.NewCommittee(models...)
+	voting, err := backend.NewVoting("majority voting", members...)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	report, err := e.EvaluateClassifier(ctx, committee, opts)
+	report, err := e.EvaluateBackend(ctx, voting, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &VotingResult{Committee: ids, Report: report}, nil
+}
+
+// AnalyzeNeighborhood runs a backend over the whole corpus, fuses the
+// four headings of each coordinate with any-vote fusion, and produces
+// tract-level environment scores and health-outcome associations.
+// Coordinate groups fan out across the worker pool (each group is one
+// backend batch fed from the shared caches); results are bit-identical
+// to the serial sweep because fused locations land at their coordinate's
+// index regardless of completion order. The context cancels mid-sweep.
+func (e *Evaluator) AnalyzeNeighborhood(ctx context.Context, b backend.Backend, tractFeet float64) (*NeighborhoodResult, error) {
+	p := e.pipe
+	caps := b.Capabilities()
+	size := p.renderSizeFor(caps)
+	options := LLMOptions{}.backendOptions()
+	nGroups := p.Study.Len() / FramesPerCoordinate
+	workers := e.workers
+	if workers > nGroups {
+		workers = nGroups
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	classifySem := classifySemFor(caps, workers)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		next     atomic.Int64
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	next.Store(-1)
+	locations := make([]analysis.LocationProfile, nGroups)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				g := int(next.Add(1))
+				if g >= nGroups {
+					return
+				}
+				start := g * FramesPerCoordinate
+				items, err := p.frameItems(start, start+FramesPerCoordinate, size, caps.PerceivedFeatures)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if classifySem != nil {
+					select {
+					case classifySem <- struct{}{}:
+					case <-ctx.Done():
+						return
+					}
+				}
+				res, err := b.Classify(ctx, backend.BatchRequest{Items: items, Options: options})
+				if classifySem != nil {
+					<-classifySem
+				}
+				if err != nil {
+					fail(fmt.Errorf("core: %w", err))
+					return
+				}
+				if len(res.Answers) != len(items) {
+					fail(fmt.Errorf("core: backend %s returned %d answer vectors for %d items", b.Name(), len(res.Answers), len(items)))
+					return
+				}
+				perHeading := make([][scene.NumIndicators]bool, 0, FramesPerCoordinate)
+				for k := range items {
+					var v [scene.NumIndicators]bool
+					copy(v[:], res.Answers[k])
+					perHeading = append(perHeading, v)
+				}
+				fused, err := ensemble.FuseHeadings(perHeading, ensemble.FuseAny)
+				if err != nil {
+					fail(fmt.Errorf("core: %w", err))
+					return
+				}
+				fr := p.Study.Frames[start]
+				locations[g] = analysis.LocationProfile{
+					Coordinate: fr.Scene.Point.Coordinate,
+					County:     fr.County,
+					Presence:   fused,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.neighborhoodAnalysis(locations, tractFeet)
 }

@@ -15,7 +15,6 @@ import (
 	"nbhd/internal/backend"
 	"nbhd/internal/classify"
 	"nbhd/internal/dataset"
-	"nbhd/internal/ensemble"
 	"nbhd/internal/labelme"
 	"nbhd/internal/metrics"
 	"nbhd/internal/prompt"
@@ -122,6 +121,10 @@ type BaselineOptions struct {
 	NoiseSNRdB float64
 	// Progress receives per-epoch losses.
 	Progress func(epoch int, loss float64)
+	// Stop, when non-nil, is polled at epoch boundaries; a non-nil
+	// return aborts training with that error (pass ctx.Err for
+	// cancellable training).
+	Stop func() error
 }
 
 // trainSplitExamples builds the supervised baselines' shared training
@@ -150,7 +153,7 @@ func (p *Pipeline) trainSplitExamples(opts BaselineOptions) ([]dataset.Example, 
 // TrainBaseline runs the paper's supervised pipeline: 70/20/10 split,
 // train the detector, evaluate P/R/F1 and mAP50 on the test split.
 func (p *Pipeline) TrainBaseline(opts BaselineOptions) (*BaselineResult, error) {
-	train, split, err := p.trainSplitExamples(opts)
+	model, split, err := p.trainDetectorModel(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -161,21 +164,32 @@ func (p *Pipeline) TrainBaseline(opts BaselineOptions) (*BaselineResult, error) 
 	if opts.NoiseSNRdB != 0 {
 		test = dataset.AddNoise(test, opts.NoiseSNRdB, p.cfg.Seed+3)
 	}
+	return p.EvaluateDetector(model, test)
+}
 
+// trainDetectorModel trains the detector on the shared split protocol
+// and returns it with the split — the training half of TrainBaseline,
+// shared with the backend environment's training hook.
+func (p *Pipeline) trainDetectorModel(opts BaselineOptions) (*yolo.Model, dataset.Split, error) {
+	train, split, err := p.trainSplitExamples(opts)
+	if err != nil {
+		return nil, dataset.Split{}, err
+	}
 	model, err := yolo.New(yolo.Config{InputSize: p.cfg.DetectorInputSize, Seed: p.cfg.Seed + 4})
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, dataset.Split{}, fmt.Errorf("core: %w", err)
 	}
 	err = model.Train(train, yolo.TrainConfig{
 		Epochs:    opts.Epochs,
 		BatchSize: opts.BatchSize,
 		Seed:      p.cfg.Seed + 5,
 		Progress:  opts.Progress,
+		Stop:      opts.Stop,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, dataset.Split{}, fmt.Errorf("core: %w", err)
 	}
-	return p.EvaluateDetector(model, test)
+	return model, split, nil
 }
 
 // EvaluateDetector scores a trained detector on examples.
@@ -249,12 +263,35 @@ func (p *Pipeline) TrainSceneCNN(opts BaselineOptions) (*classify.Model, error) 
 		BatchSize: opts.BatchSize,
 		Seed:      p.cfg.Seed + 7,
 		Progress:  opts.Progress,
+		Stop:      opts.Stop,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return model, nil
 }
+
+// pipelineEnv implements backend.Env over a pipeline, so supervised
+// backend specs (yolo, cnn) train on the run's corpus split when opened.
+type pipelineEnv struct{ p *Pipeline }
+
+// TrainDetector trains the detector baseline for the given epochs; the
+// context cancels at epoch boundaries.
+func (e pipelineEnv) TrainDetector(ctx context.Context, epochs int) (*yolo.Model, error) {
+	model, _, err := e.p.trainDetectorModel(BaselineOptions{Epochs: epochs, Stop: func() error { return ctx.Err() }})
+	return model, err
+}
+
+// TrainSceneCNN trains the scene-classification baseline for the given
+// epochs; the context cancels at epoch boundaries.
+func (e pipelineEnv) TrainSceneCNN(ctx context.Context, epochs int) (*classify.Model, error) {
+	return e.p.TrainSceneCNN(BaselineOptions{Epochs: epochs, Stop: func() error { return ctx.Err() }})
+}
+
+// BackendEnv returns the pipeline's backend-opening environment: pass it
+// to backend.OpenWith so declarative yolo/cnn specs train on this
+// pipeline's corpus split.
+func (p *Pipeline) BackendEnv() backend.Env { return pipelineEnv{p} }
 
 // LLMOptions tunes an LLM evaluation sweep.
 type LLMOptions struct {
@@ -265,6 +302,20 @@ type LLMOptions struct {
 	Temperature, TopP float64
 	// FrameLimit caps the number of frames evaluated (0 = all).
 	FrameLimit int
+}
+
+// backendOptions lowers the sweep options to the backend layer's request
+// knobs over the full indicator set — the single conversion point
+// between the two option vocabularies.
+func (o LLMOptions) backendOptions() backend.Options {
+	inds := scene.Indicators()
+	return backend.Options{
+		Indicators:  inds[:],
+		Language:    o.Language,
+		Mode:        o.Mode,
+		Temperature: o.Temperature,
+		TopP:        o.TopP,
+	}
 }
 
 // EvaluateClassifier sweeps a classifier over the corpus and returns the
@@ -310,61 +361,22 @@ type NeighborhoodResult struct {
 
 // AnalyzeNeighborhood runs a classifier over the corpus, fuses the four
 // headings of each coordinate, and produces tract-level environment
-// scores and health-outcome associations.
+// scores and health-outcome associations. Legacy shim: it adapts the
+// classifier to the backend layer and delegates to the evaluator's
+// concurrent, cancellable sweep — declarative runs name the same step
+// as an analysis in an experiment spec.
 func (p *Pipeline) AnalyzeNeighborhood(c Classifier, tractCellFeet float64) (*NeighborhoodResult, error) {
-	indices := make([]int, p.Study.Len())
-	for i := range indices {
-		indices[i] = i
-	}
-	examples, err := p.cache.Examples(indices, p.cfg.LLMRenderSize)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
 	b, err := localBackend(c)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	caps := b.Capabilities()
-	inds := scene.Indicators()
-	options := backend.Options{Indicators: inds[:]}
-	var locations []analysis.LocationProfile
-	// Frames come in coordinate groups of four headings; each group is
-	// one backend batch, fed from the shared caches.
-	for start := 0; start+3 < len(examples); start += 4 {
-		items := make([]backend.Item, 0, 4)
-		for k := 0; k < 4; k++ {
-			ex := &examples[start+k]
-			item := backend.Item{ID: ex.ID, Image: ex.Image}
-			if caps.PerceivedFeatures {
-				feats, err := p.features(ex.Image)
-				if err != nil {
-					return nil, fmt.Errorf("core: perceive %s: %w", ex.ID, err)
-				}
-				item.Feats = &feats
-			}
-			items = append(items, item)
-		}
-		res, err := b.Classify(context.Background(), backend.BatchRequest{Items: items, Options: options})
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		perHeading := make([][scene.NumIndicators]bool, 0, 4)
-		for k := range items {
-			var v [scene.NumIndicators]bool
-			copy(v[:], res.Answers[k])
-			perHeading = append(perHeading, v)
-		}
-		fused, err := ensemble.FuseHeadings(perHeading, ensemble.FuseAny)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		fr := p.Study.Frames[start]
-		locations = append(locations, analysis.LocationProfile{
-			Coordinate: fr.Scene.Point.Coordinate,
-			County:     fr.County,
-			Presence:   fused,
-		})
-	}
+	return p.NewEvaluator(EvalConfig{}).AnalyzeNeighborhood(context.Background(), b, tractCellFeet)
+}
+
+// neighborhoodAnalysis runs the downstream analysis chain — tract
+// bucketing, environment scoring, synthetic outcomes, associations —
+// over fused per-coordinate locations.
+func (p *Pipeline) neighborhoodAnalysis(locations []analysis.LocationProfile, tractCellFeet float64) (*NeighborhoodResult, error) {
 	tracts, err := analysis.Tracts(locations, tractCellFeet)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

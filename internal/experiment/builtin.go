@@ -1,0 +1,271 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"nbhd/internal/backend"
+	"nbhd/internal/prompt"
+	"nbhd/internal/vlm"
+)
+
+// BuiltinConfig parameterizes the built-in paper specs.
+type BuiltinConfig struct {
+	// Coordinates is the corpus size (x4 headings); zero defaults to
+	// the paper's 300.
+	Coordinates int
+	// Seed drives all generation.
+	Seed int64
+	// BaseURL, when non-empty, makes every model backend a remote HTTP
+	// spec against this llmserve-compatible server instead of the
+	// in-process simulation. With the default lossless encoding the
+	// reports are bit-identical either way.
+	BaseURL string
+	// APIKey is the bearer token for remote backends.
+	APIKey string
+	// TrainEpochs is the training budget for the supervised specs
+	// (yolo, cnn); zero defaults to the paper's 20.
+	TrainEpochs int
+}
+
+// modelSpec declares one model backend: in-process simulation, or
+// remote HTTP when the config points at a server.
+func (c BuiltinConfig) modelSpec(id vlm.ModelID) backend.Spec {
+	if c.BaseURL != "" {
+		return backend.Spec{Kind: "http", Model: string(id), BaseURL: c.BaseURL, APIKey: c.APIKey}
+	}
+	return backend.Spec{Kind: "vlm", Model: string(id)}
+}
+
+// modelBackends declares all four evaluated models, keyed by model ID.
+func (c BuiltinConfig) modelBackends() map[string]backend.Spec {
+	out := make(map[string]backend.Spec, len(vlm.AllModels()))
+	for _, id := range vlm.AllModels() {
+		out[string(id)] = c.modelSpec(id)
+	}
+	return out
+}
+
+// committeeSpec declares the paper's top-three committee: an in-process
+// committee locally, or a voting composite of HTTP members remotely.
+func (c BuiltinConfig) committeeSpec() backend.Spec {
+	ids := []vlm.ModelID{vlm.Gemini15Pro, vlm.Claude37, vlm.Grok2}
+	if c.BaseURL == "" {
+		models := make([]string, len(ids))
+		for i, id := range ids {
+			models[i] = string(id)
+		}
+		return backend.Spec{Kind: "committee", Models: models}
+	}
+	members := make([]backend.Spec, len(ids))
+	for i, id := range ids {
+		members[i] = c.modelSpec(id)
+	}
+	return backend.Spec{Kind: "voting", Name: "committee", Members: members}
+}
+
+// allModelNames returns the four model backend names in the paper's
+// order.
+func allModelNames() []string {
+	out := make([]string, 0, len(vlm.AllModels()))
+	for _, id := range vlm.AllModels() {
+		out = append(out, string(id))
+	}
+	return out
+}
+
+// The built-in sweep-set builders, composed into named specs below.
+
+func tablesSweeps() []SweepSpec {
+	return []SweepSpec{{Name: "tables", Backends: allModelNames()}}
+}
+
+func fig4Sweeps() []SweepSpec {
+	models := []string{string(vlm.Gemini15Pro), string(vlm.ChatGPT4oMini)}
+	return []SweepSpec{
+		{Name: "f4:parallel", Backends: models, Options: OptionsSpec{Mode: prompt.Parallel.String()}},
+		{Name: "f4:sequential", Backends: models, Options: OptionsSpec{Mode: prompt.Sequential.String()}},
+	}
+}
+
+func fig5Sweeps() []SweepSpec {
+	return []SweepSpec{
+		{Name: "f5:models", Backends: allModelNames()},
+		{Name: "f5:voting", VoteTopOf: "f5:models", VoteTopK: 3},
+	}
+}
+
+func fig6Sweeps() []SweepSpec {
+	sweeps := make([]SweepSpec, 0, 4)
+	for _, lang := range prompt.Languages() {
+		sweeps = append(sweeps, SweepSpec{
+			Name:     "f6:" + lang.String(),
+			Backends: []string{string(vlm.Gemini15Pro)},
+			Options:  OptionsSpec{Language: lang.String()},
+		})
+	}
+	return sweeps
+}
+
+// ParamTemperatures and ParamTopPs are the §IV-C4 sampling sweeps.
+var (
+	ParamTemperatures = []float64{0.1, vlm.DefaultTemperature, 1.5}
+	ParamTopPs        = []float64{0.5, 0.75, vlm.DefaultTopP}
+)
+
+// ParamSweepName names one §IV-C4 sweep ("params:temperature=0.1").
+func ParamSweepName(param string, value float64) string {
+	return "params:" + param + "=" + strconv.FormatFloat(value, 'g', -1, 64)
+}
+
+func paramsSweeps() []SweepSpec {
+	gemini := []string{string(vlm.Gemini15Pro)}
+	sweeps := make([]SweepSpec, 0, len(ParamTemperatures)+len(ParamTopPs))
+	for _, temp := range ParamTemperatures {
+		sweeps = append(sweeps, SweepSpec{
+			Name:     ParamSweepName("temperature", temp),
+			Backends: gemini,
+			Options:  OptionsSpec{Temperature: temp},
+		})
+	}
+	for _, topP := range ParamTopPs {
+		sweeps = append(sweeps, SweepSpec{
+			Name:     ParamSweepName("top_p", topP),
+			Backends: gemini,
+			Options:  OptionsSpec{TopP: topP},
+		})
+	}
+	return sweeps
+}
+
+// builtinBuilders maps experiment names to their spec builders.
+var builtinBuilders = map[string]func(BuiltinConfig) Spec{
+	"tables": func(c BuiltinConfig) Spec {
+		return Spec{
+			Name:        "tables",
+			Description: "Per-model confusion tables (Tables III-VI), parallel English prompts",
+			Backends:    c.modelBackends(),
+			Sweeps:      tablesSweeps(),
+		}
+	},
+	"f4": func(c BuiltinConfig) Spec {
+		return Spec{
+			Name:        "f4",
+			Description: "Parallel vs sequential prompting (Fig. 4)",
+			Backends:    c.modelBackends(),
+			Sweeps:      fig4Sweeps(),
+		}
+	},
+	"f5": func(c BuiltinConfig) Spec {
+		return Spec{
+			Name:        "f5",
+			Description: "Per-model accuracy and top-three majority voting (Fig. 5)",
+			Backends:    c.modelBackends(),
+			Sweeps:      fig5Sweeps(),
+		}
+	},
+	"f6": func(c BuiltinConfig) Spec {
+		return Spec{
+			Name:        "f6",
+			Description: "Prompt-language sweep (Fig. 6)",
+			Backends:    c.modelBackends(),
+			Sweeps:      fig6Sweeps(),
+		}
+	},
+	"params": func(c BuiltinConfig) Spec {
+		return Spec{
+			Name:        "params",
+			Description: "Temperature and top-p sweeps (§IV-C4)",
+			Backends:    c.modelBackends(),
+			Sweeps:      paramsSweeps(),
+		}
+	},
+	"all": func(c BuiltinConfig) Spec {
+		var sweeps []SweepSpec
+		sweeps = append(sweeps, tablesSweeps()...)
+		sweeps = append(sweeps, fig4Sweeps()...)
+		sweeps = append(sweeps, fig5Sweeps()...)
+		sweeps = append(sweeps, fig6Sweeps()...)
+		sweeps = append(sweeps, paramsSweeps()...)
+		return Spec{
+			Name:        "all",
+			Description: "The paper's full LLM evaluation section",
+			Backends:    c.modelBackends(),
+			Sweeps:      sweeps,
+		}
+	},
+	"neighborhood": func(c BuiltinConfig) Spec {
+		return Spec{
+			Name:        "neighborhood",
+			Description: "Committee-driven neighborhood environment analysis (Fig. 1 end to end)",
+			Backends:    map[string]backend.Spec{"committee": c.committeeSpec()},
+			Analyses:    []AnalysisSpec{{Name: "neighborhood", Backend: "committee", TractFeet: 5000}},
+		}
+	},
+	"yolo": func(c BuiltinConfig) Spec {
+		return Spec{
+			Name:        "yolo",
+			Description: "Detector presence predictions over the whole corpus (Fig. 5's YOLO bar)",
+			Backends:    map[string]backend.Spec{"yolo": {Kind: "yolo"}},
+			Sweeps:      []SweepSpec{{Name: "presence", Backends: []string{"yolo"}}},
+		}
+	},
+	"cnn": func(c BuiltinConfig) Spec {
+		return Spec{
+			Name:        "cnn",
+			Description: "Scene-classification CNN baseline over the whole corpus (§IV-B3)",
+			Backends:    map[string]backend.Spec{"cnn": {Kind: "cnn"}},
+			Sweeps:      []SweepSpec{{Name: "presence", Backends: []string{"cnn"}}},
+		}
+	},
+	"smoke": func(c BuiltinConfig) Spec {
+		models := []string{string(vlm.ChatGPT4oMini), string(vlm.Gemini15Pro)}
+		backends := make(map[string]backend.Spec, len(models))
+		for _, m := range models {
+			backends[m] = c.modelSpec(vlm.ModelID(m))
+		}
+		return Spec{
+			Name:        "smoke",
+			Description: "Small end-to-end run for CI: two models plus their vote",
+			Backends:    backends,
+			Sweeps: []SweepSpec{
+				{Name: "models", Backends: models},
+				{Name: "voting", VoteTopOf: "models", VoteTopK: 2},
+			},
+		}
+	},
+}
+
+// BuiltinNames lists the built-in experiment specs, sorted.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtinBuilders))
+	for name := range builtinBuilders {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtin returns the named built-in spec — the paper's experiments as
+// data. The returned spec is a fresh value the caller may modify.
+func Builtin(name string, cfg BuiltinConfig) (Spec, error) {
+	build, ok := builtinBuilders[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("experiment: unknown builtin spec %q (have %v)", name, BuiltinNames())
+	}
+	spec := build(cfg)
+	spec.Dataset = DatasetSpec{Coordinates: cfg.Coordinates, Seed: cfg.Seed}
+	if cfg.TrainEpochs > 0 {
+		for name, b := range spec.Backends {
+			if b.Kind == "yolo" || b.Kind == "cnn" {
+				b.Epochs = cfg.TrainEpochs
+				spec.Backends[name] = b
+			}
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}

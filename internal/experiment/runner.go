@@ -1,0 +1,329 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"nbhd/internal/backend"
+	"nbhd/internal/core"
+	"nbhd/internal/metrics"
+)
+
+// EventKind discriminates runner progress events.
+type EventKind string
+
+const (
+	// RunStarted opens a run, after the corpus is assembled.
+	RunStarted EventKind = "run_started"
+	// SweepStarted opens one sweep.
+	SweepStarted EventKind = "sweep_started"
+	// ReportReady delivers one backend's report within a sweep.
+	ReportReady EventKind = "report_ready"
+	// SweepFinished closes one sweep.
+	SweepFinished EventKind = "sweep_finished"
+	// AnalysisStarted opens one analysis step.
+	AnalysisStarted EventKind = "analysis_started"
+	// AnalysisFinished closes one analysis step with its result.
+	AnalysisFinished EventKind = "analysis_finished"
+	// RunFinished closes a successful run.
+	RunFinished EventKind = "run_finished"
+	// RunFailed closes a failed run; Err carries the cause.
+	RunFailed EventKind = "run_failed"
+)
+
+// Event is one typed progress notification from a run. Events are
+// emitted in a deterministic order regardless of the concurrency
+// underneath: sweeps in spec order, reports in each sweep's backend
+// order, analyses after sweeps — so any consumer (a progress bar, a
+// log, a test) sees the same stream for the same spec.
+type Event struct {
+	// Kind is the event discriminator.
+	Kind EventKind
+	// Spec is the experiment name.
+	Spec string
+	// Step is the sweep or analysis name, for step-scoped events.
+	Step string
+	// Backend is the backend's spec name, for ReportReady events.
+	Backend string
+	// Report is the backend's confusion report, for ReportReady.
+	Report *metrics.ClassReport
+	// Analysis is the step result, for AnalysisFinished.
+	Analysis *core.NeighborhoodResult
+	// Err is the failure cause, for RunFailed.
+	Err error
+}
+
+// Sink consumes progress events; nil sinks are allowed and discard
+// everything. Sinks are called synchronously from the runner goroutine,
+// so slow consumers backpressure the run but never race it.
+type Sink func(Event)
+
+// BackendReport is one backend's evaluation within a sweep.
+type BackendReport struct {
+	// Backend is the backend's name in the spec (for vote sweeps, the
+	// sweep's own name).
+	Backend string `json:"backend"`
+	// Members lists a vote sweep's committee in rank order.
+	Members []string `json:"members,omitempty"`
+	// Report is the per-class confusion report.
+	Report *metrics.ClassReport `json:"report"`
+}
+
+// SweepResult is one executed sweep.
+type SweepResult struct {
+	Name string `json:"name"`
+	// Reports are in the sweep's backend order (one entry for vote
+	// sweeps).
+	Reports []BackendReport `json:"reports"`
+}
+
+// Report returns the named backend's report, or nil.
+func (s *SweepResult) Report(backendName string) *metrics.ClassReport {
+	for i := range s.Reports {
+		if s.Reports[i].Backend == backendName {
+			return s.Reports[i].Report
+		}
+	}
+	return nil
+}
+
+// AnalysisResult is one executed analysis step.
+type AnalysisResult struct {
+	Name      string  `json:"name"`
+	Backend   string  `json:"backend"`
+	TractFeet float64 `json:"tract_feet"`
+	// Result is the full neighborhood analysis output.
+	Result *core.NeighborhoodResult `json:"result"`
+}
+
+// Result is a completed run.
+type Result struct {
+	Spec     Spec             `json:"spec"`
+	Sweeps   []SweepResult    `json:"sweeps,omitempty"`
+	Analyses []AnalysisResult `json:"analyses,omitempty"`
+	// Started and Finished bracket the run (wall clock; excluded from
+	// the diffable report artifacts).
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+}
+
+// Sweep returns the named sweep's result, or nil.
+func (r *Result) Sweep(name string) *SweepResult {
+	for i := range r.Sweeps {
+		if r.Sweeps[i].Name == name {
+			return &r.Sweeps[i]
+		}
+	}
+	return nil
+}
+
+// Analysis returns the named analysis result, or nil.
+func (r *Result) Analysis(name string) *AnalysisResult {
+	for i := range r.Analyses {
+		if r.Analyses[i].Name == name {
+			return &r.Analyses[i]
+		}
+	}
+	return nil
+}
+
+// RunnerConfig tunes spec execution.
+type RunnerConfig struct {
+	// Workers overrides the spec's evaluation worker budget when
+	// positive (a command-line -workers flag wins over the document).
+	Workers int
+}
+
+// Runner executes specs on the concurrent evaluation engine. A Runner
+// is stateless across runs; each Run assembles the spec's corpus,
+// opens the spec's backends through the registry (training the
+// supervised ones on the corpus split), executes sweeps and analyses
+// in order, and streams Events to the sink. The same spec and seed
+// always produce bit-identical reports.
+type Runner struct {
+	cfg RunnerConfig
+}
+
+// NewRunner builds a runner.
+func NewRunner(cfg RunnerConfig) *Runner {
+	return &Runner{cfg: cfg}
+}
+
+// Run executes the spec. The context cancels the run mid-sweep: workers
+// stop, the first error is returned, and a RunFailed event closes the
+// stream. On success the returned Result holds every sweep report and
+// analysis output in spec order.
+func (r *Runner) Run(ctx context.Context, spec Spec, sink Sink) (*Result, error) {
+	if sink == nil {
+		sink = func(Event) {}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec, Started: time.Now()}
+	fail := func(err error) (*Result, error) {
+		sink(Event{Kind: RunFailed, Spec: spec.Name, Err: err})
+		return nil, err
+	}
+
+	pipe, err := core.NewPipeline(spec.Dataset.coreConfig())
+	if err != nil {
+		return fail(fmt.Errorf("experiment: %s: %w", spec.Name, err))
+	}
+	workers := spec.Workers
+	if r.cfg.Workers > 0 {
+		workers = r.cfg.Workers
+	}
+	ev := pipe.NewEvaluator(core.EvalConfig{Workers: workers})
+	env := pipe.BackendEnv()
+
+	// Backends open once per run and are shared by every sweep and
+	// analysis that names them — a trained detector trains exactly
+	// once no matter how many steps sweep it.
+	opened := make(map[string]backend.Backend, len(spec.Backends))
+	open := func(name string) (backend.Backend, error) {
+		if b, ok := opened[name]; ok {
+			return b, nil
+		}
+		b, err := backend.OpenWith(ctx, spec.Backends[name], env)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s: backend %q: %w", spec.Name, name, err)
+		}
+		opened[name] = b
+		return b, nil
+	}
+
+	sink(Event{Kind: RunStarted, Spec: spec.Name})
+	for i := range spec.Sweeps {
+		sw := &spec.Sweeps[i]
+		sink(Event{Kind: SweepStarted, Spec: spec.Name, Step: sw.Name})
+		opts, err := sw.Options.llmOptions()
+		if err != nil {
+			return fail(fmt.Errorf("experiment: %s: sweep %q: %w", spec.Name, sw.Name, err))
+		}
+		var sr SweepResult
+		if sw.VoteTopOf != "" {
+			sr, err = r.runVoteSweep(ctx, ev, res, sw, opts, open)
+		} else {
+			sr, err = r.runSweep(ctx, ev, sw, opts, open)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("experiment: %s: sweep %q: %w", spec.Name, sw.Name, err))
+		}
+		res.Sweeps = append(res.Sweeps, sr)
+		for k := range sr.Reports {
+			sink(Event{
+				Kind:    ReportReady,
+				Spec:    spec.Name,
+				Step:    sw.Name,
+				Backend: sr.Reports[k].Backend,
+				Report:  sr.Reports[k].Report,
+			})
+		}
+		sink(Event{Kind: SweepFinished, Spec: spec.Name, Step: sw.Name})
+	}
+	for i := range spec.Analyses {
+		a := &spec.Analyses[i]
+		sink(Event{Kind: AnalysisStarted, Spec: spec.Name, Step: a.Name})
+		b, err := open(a.Backend)
+		if err != nil {
+			return fail(err)
+		}
+		tractFeet := a.TractFeet
+		if tractFeet == 0 {
+			tractFeet = 5000
+		}
+		out, err := ev.AnalyzeNeighborhood(ctx, b, tractFeet)
+		if err != nil {
+			return fail(fmt.Errorf("experiment: %s: analysis %q: %w", spec.Name, a.Name, err))
+		}
+		res.Analyses = append(res.Analyses, AnalysisResult{
+			Name:      a.Name,
+			Backend:   a.Backend,
+			TractFeet: tractFeet,
+			Result:    out,
+		})
+		sink(Event{Kind: AnalysisFinished, Spec: spec.Name, Step: a.Name, Analysis: out})
+	}
+	res.Finished = time.Now()
+	sink(Event{Kind: RunFinished, Spec: spec.Name})
+	return res, nil
+}
+
+// runSweep evaluates a regular sweep's backends concurrently and
+// returns their reports in spec order.
+func (r *Runner) runSweep(ctx context.Context, ev *core.Evaluator, sw *SweepSpec, opts core.LLMOptions, open func(string) (backend.Backend, error)) (SweepResult, error) {
+	backends := make([]backend.Backend, len(sw.Backends))
+	for i, name := range sw.Backends {
+		b, err := open(name)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		backends[i] = b
+	}
+	reports, err := ev.EvaluateBackendSet(ctx, backends, opts)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	sr := SweepResult{Name: sw.Name, Reports: make([]BackendReport, len(reports))}
+	for i := range reports {
+		sr.Reports[i] = BackendReport{Backend: sw.Backends[i], Report: reports[i]}
+	}
+	return sr, nil
+}
+
+// runVoteSweep majority-votes the top backends of an earlier sweep:
+// members are ranked by average accuracy (ties broken by backend name,
+// mirroring the paper's deterministic top-three selection), opened
+// again from their specs, and evaluated as one voting composite.
+func (r *Runner) runVoteSweep(ctx context.Context, ev *core.Evaluator, res *Result, sw *SweepSpec, opts core.LLMOptions, open func(string) (backend.Backend, error)) (SweepResult, error) {
+	prev := res.Sweep(sw.VoteTopOf)
+	if prev == nil {
+		return SweepResult{}, fmt.Errorf("source sweep %q has no result", sw.VoteTopOf)
+	}
+	k := sw.VoteTopK
+	if k == 0 {
+		k = 3
+	}
+	ranked := make([]BackendReport, len(prev.Reports))
+	copy(ranked, prev.Reports)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		_, _, _, accA := ranked[a].Report.Averages()
+		_, _, _, accB := ranked[b].Report.Averages()
+		if accA != accB {
+			return accA > accB
+		}
+		return ranked[a].Backend < ranked[b].Backend
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	members := make([]backend.Backend, k)
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		b, err := open(ranked[i].Backend)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		members[i] = b
+		names[i] = ranked[i].Backend
+	}
+	voting, err := backend.NewVoting(sw.Name, members...)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	report, err := ev.EvaluateBackend(ctx, voting, opts)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return SweepResult{
+		Name: sw.Name,
+		Reports: []BackendReport{{
+			Backend: sw.Name,
+			Members: names,
+			Report:  report,
+		}},
+	}, nil
+}

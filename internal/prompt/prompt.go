@@ -47,6 +47,18 @@ func (l Language) String() string {
 	}
 }
 
+// ParseLanguage maps a language name (as produced by String, case-
+// insensitive) back to the Language — the inverse used by declarative
+// experiment specs.
+func ParseLanguage(s string) (Language, error) {
+	for _, l := range Languages() {
+		if strings.EqualFold(s, l.String()) {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("prompt: unknown language %q (want English, Spanish, Chinese, or Bengali)", s)
+}
+
 // Mode is the prompting strategy of §IV-C1.
 type Mode int
 
@@ -66,6 +78,19 @@ func (m Mode) String() string {
 		return "sequential"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode maps a mode name (as produced by String, case-insensitive)
+// back to the Mode.
+func ParseMode(s string) (Mode, error) {
+	switch {
+	case strings.EqualFold(s, Parallel.String()):
+		return Parallel, nil
+	case strings.EqualFold(s, Sequential.String()):
+		return Sequential, nil
+	default:
+		return 0, fmt.Errorf("prompt: unknown mode %q (want parallel or sequential)", s)
 	}
 }
 

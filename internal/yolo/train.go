@@ -35,6 +35,10 @@ type TrainConfig struct {
 	CoordWeight float64
 	// Progress, when non-nil, receives per-epoch mean losses.
 	Progress func(epoch int, loss float64)
+	// Stop, when non-nil, is polled at each epoch boundary; a non-nil
+	// return aborts training with that error. Pass ctx.Err to make a
+	// long run cancellable without goroutine games.
+	Stop func() error
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -280,6 +284,11 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 	batch := make([]dataset.Example, 0, cfg.BatchSize)
 	images := make([]*render.Image, 0, cfg.BatchSize)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Stop != nil {
+			if err := cfg.Stop(); err != nil {
+				return fmt.Errorf("yolo: training stopped: %w", err)
+			}
+		}
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		var epochLoss float64
 		batches := 0
