@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke run-experiment fmt fmt-check vet check
+.PHONY: all build test race bench bench-smoke run-experiment serve-smoke fmt fmt-check vet check
 
 all: build
 
@@ -39,6 +39,18 @@ bench-smoke:
 run-experiment:
 	$(GO) run ./cmd/llmeval -coords 12 -experiment smoke -run-dir runs
 	cp runs/run-smoke/manifest.json BENCH_pr4.json
+
+# Boots the classification gateway in-process with the trained cnn
+# backend and replays a Zipf-skewed sweep as concurrent client traffic
+# against three gateway variants — dynamic batching (with single-flight
+# dedup), batching pinned to size 1, and batching plus the LRU result
+# cache — and writes the throughput/latency comparison to
+# BENCH_pr5.json, the CI artifact proving coalescing beats the
+# batch-size-1 gateway.
+serve-smoke:
+	$(GO) run ./cmd/nbhdserve -loadgen -coords 12 -cnn-epochs 2 \
+		-loadgen-requests 512 -loadgen-concurrency 64 -loadgen-frames 48 \
+		-bench-out BENCH_pr5.json
 
 fmt:
 	gofmt -w .

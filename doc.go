@@ -35,6 +35,18 @@
 // reports bit-identical to local), the YOLO detector's presence
 // predictions, and the scene-classification CNN baseline.
 //
+// The online face is the serving gateway in internal/serve
+// (cmd/nbhdserve): a long-lived HTTP classification service over the
+// same backend registry, coalescing single-frame requests into dynamic
+// micro-batches per (backend, options) key — flushed at the backend's
+// preferred batch size or a max-latency timer, with single-flight
+// collapse of concurrent identical requests — behind bounded admission
+// queues that shed load with 503 + Retry-After (the same contract
+// llmserve speaks, so llmclient's retry loop interoperates), an LRU
+// result cache, JSON health/metrics endpoints, and graceful drain.
+// Coalesced responses are bit-identical to serial single-item
+// classification.
+//
 // Beneath the detector sits the fast NN compute layer
 // (internal/tensor + internal/nn): register-blocked parallel GEMM
 // kernels, batched im2col convolution (one GEMM per batch), a size-keyed

@@ -15,6 +15,7 @@ package backend
 
 import (
 	"context"
+	"io"
 
 	"nbhd/internal/prompt"
 	"nbhd/internal/render"
@@ -95,4 +96,17 @@ type Backend interface {
 	// cancellation and return answer vectors aligned with
 	// req.Options.Indicators for every item.
 	Classify(ctx context.Context, req BatchRequest) (BatchResult, error)
+}
+
+// Close releases a backend's owned resources. Adapters that hold
+// resources beyond process memory — today the HTTP adapter's pooled
+// idle connections, and Voting composites over such members —
+// implement io.Closer; Close forwards to it and is a no-op for every
+// other backend. Registry consumers (the experiment runner, the serve
+// gateway's warm pool) call it when they retire a backend they opened.
+func Close(b Backend) error {
+	if c, ok := b.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }

@@ -95,6 +95,14 @@ func NewHTTP(cfg HTTPConfig) (*HTTP, error) {
 // Name identifies the backend.
 func (h *HTTP) Name() string { return "http:" + string(h.cfg.Model) }
 
+// Close releases the adapter's owned resources: the underlying client's
+// pooled idle connections. The backend stays usable; Close just returns
+// sockets a retired backend would otherwise hold until GC.
+func (h *HTTP) Close() error {
+	h.cfg.Client.CloseIdle()
+	return nil
+}
+
 // Capabilities: remote models cannot consume the perception cache (the
 // server perceives behind the API); batches amortize engine overhead
 // and MaxConcurrency keeps the engine from queuing more batches than

@@ -79,6 +79,18 @@ func (v *Voting) Name() string { return v.name }
 // Members returns the member backends in voting order.
 func (v *Voting) Members() []Backend { return append([]Backend(nil), v.members...) }
 
+// Close closes every member that owns resources (e.g. HTTP members'
+// connection pools), joining their errors.
+func (v *Voting) Close() error {
+	var errs []error
+	for _, m := range v.members {
+		if err := Close(m); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // Capabilities returns the most conservative merge of the members'.
 func (v *Voting) Capabilities() Capabilities { return v.caps }
 

@@ -183,6 +183,14 @@ func (r *Runner) Run(ctx context.Context, spec Spec, sink Sink) (*Result, error)
 	// analysis that names them — a trained detector trains exactly
 	// once no matter how many steps sweep it.
 	opened := make(map[string]backend.Backend, len(spec.Backends))
+	defer func() {
+		// Retired backends release what they own (HTTP idle
+		// connections); best-effort — a close failure cannot un-finish
+		// the run.
+		for _, b := range opened {
+			_ = backend.Close(b)
+		}
+	}()
 	open := func(name string) (backend.Backend, error) {
 		if b, ok := opened[name]; ok {
 			return b, nil

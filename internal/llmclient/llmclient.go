@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"nbhd/internal/llmserve"
@@ -90,6 +91,13 @@ func New(cfg Config) (*Client, error) {
 	return &Client{cfg: cfg}, nil
 }
 
+// CloseIdle releases the client's pooled idle HTTP connections. The
+// client remains usable afterwards; resource-owning backend adapters
+// forward their Close here.
+func (c *Client) CloseIdle() {
+	c.cfg.HTTPClient.CloseIdleConnections()
+}
+
 // StatusError is a non-2xx API response.
 type StatusError struct {
 	StatusCode int
@@ -151,15 +159,25 @@ func decodeError(resp *http.Response) error {
 		se.Message = er.Error.Message
 		se.RequestID = er.Error.RequestID
 	}
-	// Only delta-seconds Retry-After (what llmserve sends); HTTP-date
-	// values are ignored and fall back to backoff.
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-			se.RetryAfter = time.Duration(secs) * time.Second
-			se.HasRetryAfter = true
-		}
+	if d, ok := ParseRetryAfter(resp.Header.Get("Retry-After")); ok {
+		se.RetryAfter = d
+		se.HasRetryAfter = true
 	}
 	return se
+}
+
+// ParseRetryAfter parses a Retry-After header value in its delta-seconds
+// form and reports whether it was present and valid. Only the
+// delta-seconds form is recognized — llmserve and the serve gateway send
+// nothing else — so HTTP-date values return false and callers fall back
+// to their own backoff. A zero duration with ok=true means the server
+// gave no pacing guidance, not "retry immediately" (see retryDelay).
+func ParseRetryAfter(v string) (time.Duration, bool) {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
 }
 
 // imagePart encodes the image in the client's configured wire format.

@@ -418,3 +418,26 @@ func TestAPIKeyAuth(t *testing.T) {
 		t.Errorf("answers = %d", len(answers))
 	}
 }
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in     string
+		want   time.Duration
+		wantOK bool
+	}{
+		{"", 0, false},
+		{"0", 0, true},
+		{"3", 3 * time.Second, true},
+		{" 5 ", 5 * time.Second, true},
+		{"-1", 0, false},
+		{"abc", 0, false},
+		{"1.5", 0, false},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := ParseRetryAfter(tc.in)
+		if got != tc.want || ok != tc.wantOK {
+			t.Errorf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}

@@ -6,6 +6,13 @@
 // questions, per-key rate limiting, and configurable failure injection
 // (429s with Retry-After, 500s) with traceable request IDs for
 // resilience testing.
+//
+// The rate-limit contract — delta-seconds Retry-After plus a JSON error
+// body carrying message/type/request_id — is shared with the serving
+// gateway (internal/serve), which sheds overload with 503 the same way
+// this server rate-limits with 429: one llmclient-style retry loop
+// (llmclient.ParseRetryAfter, jittered backoff, zero-seconds means
+// no-guidance) handles both services.
 package llmserve
 
 import (

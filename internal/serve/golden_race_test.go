@@ -1,0 +1,125 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"nbhd/internal/backend"
+	"nbhd/internal/scene"
+	"nbhd/internal/serve"
+	"nbhd/internal/vlm"
+)
+
+// TestCoalescedBitIdenticalToSerial is the gateway's golden test (and,
+// under -race, its race test): 64 concurrent clients drive the
+// coalescer hard, and every response must be bit-identical to a serial
+// single-item Backend.Classify call on the same frame — coalescing is
+// an execution detail, never an accuracy trade.
+func TestCoalescedBitIdenticalToSerial(t *testing.T) {
+	ctx := context.Background()
+	cache := studyCache(t, 3)
+	frames := cache.Study().Len()
+
+	b, err := backend.Open(ctx, backend.Spec{Kind: "vlm", Model: string(vlm.ChatGPT4oMini)})
+	if err != nil {
+		t.Fatalf("open vlm backend: %v", err)
+	}
+
+	// Golden answers: one single-item Classify per frame, serially.
+	inds := scene.Indicators()
+	opts := backend.Options{Indicators: inds[:]}
+	const renderSize = 96 // the gateway's DefaultRenderSize
+	want := make([][]bool, frames)
+	for i := 0; i < frames; i++ {
+		ex, err := cache.Example(i, renderSize)
+		if err != nil {
+			t.Fatalf("render %d: %v", i, err)
+		}
+		res, err := b.Classify(ctx, backend.BatchRequest{
+			Items:   []backend.Item{{ID: ex.ID, Image: ex.Image}},
+			Options: opts,
+		})
+		if err != nil {
+			t.Fatalf("serial classify %d: %v", i, err)
+		}
+		want[i] = res.Answers[0]
+	}
+
+	// The same backend instance behind the gateway, with coalescing
+	// forced on (vlm backends prefer batch 1) and the result cache off
+	// so every request truly crosses the coalescer.
+	s, ts := gateway(t, serve.Config{MaxBatch: 16, BatchDelayMS: 10, MaxQueue: 4096, CacheSize: -1}, serve.Options{
+		Frames:   cache,
+		Backends: map[string]backend.Backend{"m": b},
+	})
+
+	const (
+		clients        = 64
+		requestsEach   = 12
+		totalRequests  = clients * requestsEach
+		languageHeader = "application/json"
+	)
+	var (
+		wg       sync.WaitGroup
+		verified atomic.Int64
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < requestsEach; j++ {
+				frame := (c*requestsEach + j) % frames
+				body := fmt.Sprintf(`{"backend":"m","frame":{"index":%d}}`, frame)
+				resp, err := http.Post(ts.URL+"/v1/classify", languageHeader, strings.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				var out serve.ClassifyResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				_ = resp.Body.Close()
+				if decErr != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: status %d, decode err %v", c, resp.StatusCode, decErr)
+					return
+				}
+				if len(out.Answers) != len(want[frame]) {
+					t.Errorf("client %d frame %d: %d answers, want %d", c, frame, len(out.Answers), len(want[frame]))
+					return
+				}
+				for k := range out.Answers {
+					if out.Answers[k] != want[frame][k] {
+						t.Errorf("client %d frame %d: answer[%d] = %v, want %v (batch of %d)",
+							c, frame, k, out.Answers[k], want[frame][k], out.BatchSize)
+						return
+					}
+				}
+				verified.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if got := verified.Load(); got != totalRequests {
+		t.Fatalf("%d of %d requests verified", got, totalRequests)
+	}
+	// Coalescing must actually have happened: 64 concurrent clients
+	// over 12 frames must have shared batch windows, visible as far
+	// fewer backend dispatches than requests (dynamic batching plus
+	// single-flight collapse of concurrent duplicates).
+	met := s.Metrics().Routes["m"]
+	if met.OK != totalRequests {
+		t.Fatalf("gateway served %d OK, want %d", met.OK, totalRequests)
+	}
+	if met.Batches >= totalRequests {
+		t.Fatalf("%d dispatches for %d requests; the coalescer never coalesced", met.Batches, totalRequests)
+	}
+	if met.DedupHits == 0 {
+		t.Fatalf("no concurrent duplicate collapsed despite 64 clients replaying 12 frames")
+	}
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nbhd/internal/llmclient"
+)
+
+// LoadgenConfig parameterizes a load-generation run: a sweep replayed
+// as concurrent client traffic against a gateway's public HTTP API.
+type LoadgenConfig struct {
+	// BaseURL is the gateway root, e.g. "http://127.0.0.1:8090".
+	BaseURL string
+	// Backend is the route to drive.
+	Backend string
+	// Frames is how many distinct dataset frame indices the replay
+	// cycles through.
+	Frames int
+	// Requests is the total request count; Concurrency the number of
+	// concurrent clients issuing them.
+	Requests    int
+	Concurrency int
+	// Skew is the Zipf exponent of the replay's frame popularity:
+	// real user traffic concentrates on popular locations, which is
+	// what gives the gateway's single-flight collapse and result cache
+	// something to bite on. Zero replays frames uniformly round-robin
+	// (no concurrent duplicates by construction); values > 1 skew
+	// harder. The draw sequence is deterministic in the worker index.
+	Skew float64
+	// MaxRetries bounds retries after a 503 shed, honoring the
+	// gateway's Retry-After exactly like llmclient honors llmserve's
+	// (zero defaults to 8).
+	MaxRetries int
+	// HTTPClient defaults to a client with a 60-second timeout.
+	HTTPClient *http.Client
+}
+
+// LoadgenReport is one run's client-side view: throughput and latency
+// over successful requests, plus how often the gateway shed or answered
+// from cache.
+type LoadgenReport struct {
+	Backend       string  `json:"backend"`
+	Requests      int     `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	Frames        int     `json:"frames"`
+	Skew          float64 `json:"skew"`
+	DurationMS    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	// MeanBatch averages the batch_size reported by non-cached
+	// responses — the client-observed coalescing factor.
+	MeanBatch float64 `json:"mean_batch"`
+	// CacheHits counts responses answered from the gateway's LRU.
+	CacheHits int64 `json:"cache_hits"`
+	// Shed503 counts 503 responses absorbed by the retry loop.
+	Shed503 int64 `json:"shed_503"`
+}
+
+// Loadgen replays a classification sweep as concurrent client traffic
+// and reports throughput and latency. Sheds are retried with the
+// gateway's Retry-After guidance; any other failure aborts the run.
+func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
+	if cfg.BaseURL == "" || cfg.Backend == "" {
+		return nil, fmt.Errorf("serve: loadgen needs a base URL and a backend name")
+	}
+	if cfg.Frames < 1 || cfg.Requests < 1 || cfg.Concurrency < 1 {
+		return nil, fmt.Errorf("serve: loadgen needs positive frames/requests/concurrency (got %d/%d/%d)",
+			cfg.Frames, cfg.Requests, cfg.Concurrency)
+	}
+	if cfg.Skew < 0 || (cfg.Skew > 0 && cfg.Skew <= 1) {
+		return nil, fmt.Errorf("serve: loadgen skew must be 0 (uniform) or > 1 (Zipf exponent), got %g", cfg.Skew)
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 8
+	}
+	client := cfg.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+
+	var (
+		next      atomic.Int64
+		shed      atomic.Int64
+		cacheHits atomic.Int64
+		batchSum  atomic.Int64
+		batchN    atomic.Int64
+
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	latencies := make([][]float64, cfg.Concurrency)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each client draws its own deterministic popularity
+			// sequence so runs are reproducible.
+			var zipf *rand.Zipf
+			if cfg.Skew > 0 {
+				zipf = rand.NewZipf(rand.New(rand.NewSource(int64(w)+1)), cfg.Skew, 1, uint64(cfg.Frames-1))
+			}
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Requests) || runCtx.Err() != nil {
+					return
+				}
+				frame := int(i) % cfg.Frames
+				if zipf != nil {
+					frame = int(zipf.Uint64())
+				}
+				t0 := time.Now()
+				resp, err := classifyOnce(runCtx, client, cfg, frame, &shed)
+				if err != nil {
+					fail(fmt.Errorf("serve: loadgen request %d: %w", i, err))
+					return
+				}
+				latencies[w] = append(latencies[w], float64(time.Since(t0))/float64(time.Millisecond))
+				if resp.Cached {
+					cacheHits.Add(1)
+				} else if resp.BatchSize > 0 {
+					batchSum.Add(int64(resp.BatchSize))
+					batchN.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	elapsed := time.Since(start)
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	rep := &LoadgenReport{
+		Backend:       cfg.Backend,
+		Requests:      cfg.Requests,
+		Concurrency:   cfg.Concurrency,
+		Frames:        cfg.Frames,
+		Skew:          cfg.Skew,
+		DurationMS:    float64(elapsed) / float64(time.Millisecond),
+		ThroughputRPS: float64(cfg.Requests) / elapsed.Seconds(),
+		LatencyP50MS:  quantile(all, 0.50),
+		LatencyP99MS:  quantile(all, 0.99),
+		CacheHits:     cacheHits.Load(),
+		Shed503:       shed.Load(),
+	}
+	if n := batchN.Load(); n > 0 {
+		rep.MeanBatch = float64(batchSum.Load()) / float64(n)
+	}
+	return rep, nil
+}
+
+// classifyOnce issues one coordinate-addressed classify request,
+// retrying 503 sheds with the server's Retry-After pacing (parsed by
+// the same llmclient helper that paces llmserve retries).
+func classifyOnce(ctx context.Context, client *http.Client, cfg LoadgenConfig, frame int, shed *atomic.Int64) (*ClassifyResponse, error) {
+	payload, err := json.Marshal(ClassifyRequest{Backend: cfg.Backend, Frame: FrameRef{Index: &frame}})
+	if err != nil {
+		return nil, err
+	}
+	var lastStatus int
+	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/classify", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			var out ClassifyResponse
+			err := json.NewDecoder(resp.Body).Decode(&out)
+			_ = resp.Body.Close()
+			if err != nil {
+				return nil, fmt.Errorf("decode response: %w", err)
+			}
+			return &out, nil
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		retryAfter, hasRetryAfter := llmclient.ParseRetryAfter(resp.Header.Get("Retry-After"))
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return nil, fmt.Errorf("server returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		lastStatus = resp.StatusCode
+		shed.Add(1)
+		delay := 50 * time.Millisecond
+		if hasRetryAfter && retryAfter > 0 {
+			delay = retryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	return nil, fmt.Errorf("retries exhausted after repeated %d responses", lastStatus)
+}

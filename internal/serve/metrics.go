@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is how many recent request latencies the quantile ring
+// retains per route.
+const latencyWindow = 4096
+
+// routeMetrics accumulates one route's counters; snapshot renders them
+// for /metricsz.
+type routeMetrics struct {
+	mu        sync.Mutex
+	requests  int64
+	ok        int64
+	errors    int64
+	shed      int64
+	cacheHits int64
+
+	batches    int64
+	batchItems int64
+	dedupHits  int64
+	batchHist  map[int]int64
+
+	// lat is a ring of the most recent served-request latencies in
+	// milliseconds; latN counts total recorded.
+	lat     [latencyWindow]float64
+	latN    int64
+	latNext int
+}
+
+func newRouteMetrics() *routeMetrics {
+	return &routeMetrics{batchHist: make(map[int]int64)}
+}
+
+func (m *routeMetrics) request() {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+}
+
+func (m *routeMetrics) shedOne() {
+	m.mu.Lock()
+	m.shed++
+	m.mu.Unlock()
+}
+
+func (m *routeMetrics) cacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+func (m *routeMetrics) failOne() {
+	m.mu.Lock()
+	m.errors++
+	m.mu.Unlock()
+}
+
+func (m *routeMetrics) okOne(d time.Duration) {
+	m.mu.Lock()
+	m.ok++
+	m.lat[m.latNext] = float64(d) / float64(time.Millisecond)
+	m.latNext = (m.latNext + 1) % latencyWindow
+	m.latN++
+	m.mu.Unlock()
+}
+
+func (m *routeMetrics) batchOne(size, dedup int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchItems += int64(size)
+	m.dedupHits += int64(dedup)
+	m.batchHist[size]++
+	m.mu.Unlock()
+}
+
+func (m *routeMetrics) snapshot(qdepth, qcap int) RouteMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := RouteMetrics{
+		Requests:  m.requests,
+		OK:        m.ok,
+		Errors:    m.errors,
+		Shed:      m.shed,
+		CacheHits: m.cacheHits,
+		QDepth:    qdepth,
+		QCapacity: qcap,
+		Batches:   m.batches,
+		DedupHits: m.dedupHits,
+		BatchHist: make(map[int]int64, len(m.batchHist)),
+	}
+	for k, v := range m.batchHist {
+		out.BatchHist[k] = v
+	}
+	if m.batches > 0 {
+		out.MeanBatch = float64(m.batchItems) / float64(m.batches)
+	}
+	n := int(m.latN)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n > 0 {
+		lats := make([]float64, n)
+		copy(lats, m.lat[:n])
+		sort.Float64s(lats)
+		out.Latency = LatencySummary{
+			Count: n,
+			P50:   quantile(lats, 0.50),
+			P90:   quantile(lats, 0.90),
+			P99:   quantile(lats, 0.99),
+		}
+	}
+	return out
+}
+
+// quantile reads the q-th quantile from sorted values (nearest-rank on
+// the inclusive index scale).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
