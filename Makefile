@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke run-experiment serve-smoke fmt fmt-check vet check
+.PHONY: all build test race bench bench-smoke bench-store run-experiment serve-smoke fmt fmt-check vet godoc-check check
 
 all: build
 
@@ -29,7 +29,14 @@ bench:
 # zero-allocation training step), with -benchmem so allocation regressions
 # in the pooled hot path are visible in CI artifacts.
 bench-smoke:
-	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep|ConvForward|ConvBackward|TrainEpoch|DetectorForward' -benchtime=1x -benchmem
+	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep|ConvForward|ConvBackward|TrainEpoch|DetectorForward|Nearest|WarmStart' -benchtime=1x -benchmem
+
+# Spatial-layer benchmarks on their own: the geo index vs the linear
+# scan it replaced, and warm-start store serving vs cold rendering.
+# CI tees the output to BENCH_pr6.json, the persistent-store perf
+# artifact.
+bench-store:
+	$(GO) test -run=NONE -bench='BenchmarkNearest|BenchmarkWarmStart' -benchtime=1x -benchmem
 
 # Executes the small built-in "smoke" experiment spec end to end
 # through the declarative runner (two model sweeps plus their majority
@@ -61,4 +68,18 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-check: fmt-check vet build test
+# Every internal package must carry a real package comment ("// Package
+# <name> ..." in some file of the package) — the architecture book
+# (docs/ARCHITECTURE.md) leans on godoc for per-package detail, so an
+# undocumented package is a CI failure, not a style nit.
+godoc-check:
+	@missing=""; \
+	for p in internal/*/; do \
+		n=$$(basename $$p); \
+		grep -qs "^// Package $$n " $$p*.go || missing="$$missing $$n"; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "internal packages missing a package comment:$$missing"; exit 1; \
+	fi
+
+check: fmt-check vet godoc-check build test

@@ -1,12 +1,14 @@
 // Command nbhdserve runs the online classification gateway: the backend
 // registry behind a dynamic-batching HTTP inference service over the
-// study corpus, with admission control, an LRU result cache, health and
-// metrics endpoints, and graceful drain on SIGTERM.
+// study corpus, with admission control, an LRU result cache, spatial
+// queries (GET /v1/nearest, POST /v1/neighborhood), health and metrics
+// endpoints, and graceful drain on SIGTERM.
 //
 // Usage:
 //
 //	nbhdserve -addr :8090                      # four simulated LLMs + committee
 //	nbhdserve -addr :8090 -cnn-epochs 20       # also train and mount the CNN baseline
+//	nbhdserve -addr :8090 -store-dir corpus/   # persistent frame store: restarts re-render nothing
 //	nbhdserve -config gateway.json             # routes from a serve.Config JSON file
 //	nbhdserve -loadgen -bench-out BENCH_pr5.json
 //
@@ -47,6 +49,7 @@ func run() error {
 	configPath := flag.String("config", "", "serve.Config JSON file (overrides the builtin route set)")
 	coords := flag.Int("coords", 300, "dataset coordinates (x4 headings)")
 	seed := flag.Int64("seed", 0, "dataset seed")
+	storeDir := flag.String("store-dir", "", "persistent frame store directory: renders persist across runs and warm starts serve from disk with zero re-renders")
 	cnnEpochs := flag.Int("cnn-epochs", 0, "train and mount the cnn backend for this many epochs (0 = skip; loadgen mode defaults to 2)")
 	batchDelayMS := flag.Int("batch-delay-ms", 0, "max-latency batch flush timer (0 = default 3ms, negative = no coalescing)")
 	maxQueue := flag.Int("max-queue", 0, "per-backend admission queue bound (0 = default 256)")
@@ -69,6 +72,7 @@ func run() error {
 			target:      *lgTarget,
 			coords:      *coords,
 			seed:        *seed,
+			storeDir:    *storeDir,
 			cnnEpochs:   *cnnEpochs,
 			requests:    *lgRequests,
 			concurrency: *lgConcurrency,
@@ -94,9 +98,13 @@ func run() error {
 	}
 
 	fmt.Printf("assembling %d-coordinate corpus (seed %d)...\n", *coords, *seed)
-	pipe, err := core.NewPipeline(core.Config{Coordinates: *coords, Seed: *seed})
+	pipe, err := core.NewPipeline(core.Config{Coordinates: *coords, Seed: *seed, StoreDir: *storeDir})
 	if err != nil {
 		return err
+	}
+	defer func() { _ = pipe.Close() }()
+	if *storeDir != "" {
+		fmt.Printf("frame store %s: %d frames on disk\n", *storeDir, pipe.FrameStore().Len())
 	}
 	srv, err := serve.New(ctx, cfg, serve.Options{Env: pipe.BackendEnv(), Frames: pipe.RenderCache()})
 	if err != nil {
@@ -156,6 +164,7 @@ type loadgenParams struct {
 	target      string
 	coords      int
 	seed        int64
+	storeDir    string
 	cnnEpochs   int
 	requests    int
 	concurrency int
@@ -203,10 +212,11 @@ func runLoadgen(ctx context.Context, p loadgenParams) error {
 		epochs = 2
 	}
 	fmt.Printf("assembling %d-coordinate corpus (seed %d)...\n", p.coords, p.seed)
-	pipe, err := core.NewPipeline(core.Config{Coordinates: p.coords, Seed: p.seed})
+	pipe, err := core.NewPipeline(core.Config{Coordinates: p.coords, Seed: p.seed, StoreDir: p.storeDir})
 	if err != nil {
 		return err
 	}
+	defer func() { _ = pipe.Close() }()
 	if p.frames > pipe.Study.Len() {
 		return fmt.Errorf("loadgen wants %d frames but the corpus has %d", p.frames, pipe.Study.Len())
 	}
@@ -215,13 +225,19 @@ func runLoadgen(ctx context.Context, p loadgenParams) error {
 	if err != nil {
 		return err
 	}
-	// Pre-render every replayed frame so neither pass pays render cost
-	// and the comparison isolates the dispatch strategy.
+	// Pre-warm every replayed frame so neither pass pays render cost and
+	// the comparison isolates the dispatch strategy. With a -store-dir,
+	// repeated loadgen runs skip rendering entirely: frames mmap from the
+	// persistent tier.
 	size := cnn.Capabilities().RenderSize
 	for i := 0; i < p.frames; i++ {
 		if _, err := pipe.RenderCache().Example(i, size); err != nil {
 			return err
 		}
+	}
+	if p.storeDir != "" {
+		fmt.Printf("frame store %s: %d rendered, %d from disk\n",
+			p.storeDir, pipe.RenderCache().Renders(), pipe.RenderCache().StoreHits())
 	}
 
 	pass := func(label string, cfg serve.Config) (benchPass, error) {

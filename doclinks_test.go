@@ -1,0 +1,61 @@
+// Documentation link check: every relative markdown link in the root
+// *.md files and docs/*.md must point at a file (or directory) that
+// exists, so the architecture book and the store-format spec cannot
+// silently rot as the tree moves. Runs under plain `go test ./...`,
+// which is how CI fails on a dead doc link.
+package nbhd
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links: [text](target). Reference-style
+// links and autolinks are out of scope; the repo doesn't use them.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocRelativeLinksResolve(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; glob patterns are wrong")
+	}
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external; not checked offline
+			case strings.HasPrefix(target, "#"):
+				continue // intra-document anchor
+			}
+			// A relative target may carry an anchor: FILE.md#section.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead relative link %q (resolved %s): %v", file, m[1], resolved, err)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
@@ -30,19 +31,28 @@ func main() {
 }
 
 func run() error {
+	// With -store-dir, both layers share one persistent render corpus:
+	// the pipeline renders (or mmaps) each frame once and the experiment
+	// runner's corpus warm-starts from the same store.
+	storeDir := flag.String("store-dir", "", "persistent frame store directory (optional)")
+	flag.Parse()
+
 	dataset := experiment.DatasetSpec{
 		Coordinates:       60,
 		Seed:              11,
 		DetectorInputSize: 48,
+		StoreDir:          *storeDir,
 	}
 	pipe, err := core.NewPipeline(core.Config{
 		Coordinates:       dataset.Coordinates,
 		Seed:              dataset.Seed,
 		DetectorInputSize: dataset.DetectorInputSize,
+		StoreDir:          dataset.StoreDir,
 	})
 	if err != nil {
 		return err
 	}
+	defer func() { _ = pipe.Close() }()
 	stats := pipe.Study.Stats()
 	fmt.Printf("corpus: %d frames, %d labeled objects\n", stats.Frames, stats.TotalObjects)
 
@@ -56,6 +66,13 @@ func run() error {
 	}
 	_, _, detF1, _ := baseline.Report.Averages()
 	fmt.Printf("detector: avg F1 %.3f, mAP50 %.3f (test split)\n", detF1, baseline.MAP50)
+
+	// The store allows one writer at a time: release the pipeline's
+	// writer lock before the experiment runner opens the same directory
+	// (Close is idempotent, so the deferred call stays safe).
+	if err := pipe.Close(); err != nil {
+		return err
+	}
 
 	fmt.Println("\nevaluating LLM committee (training-free)...")
 	spec, err := experiment.Builtin("neighborhood", experiment.BuiltinConfig{

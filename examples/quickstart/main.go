@@ -7,6 +7,7 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
@@ -23,10 +24,15 @@ func main() {
 }
 
 func run() error {
+	// With -store-dir, renders persist between invocations: the first
+	// run fills the store, every later run serves frames from disk.
+	storeDir := flag.String("store-dir", "", "persistent frame store directory (optional)")
+	flag.Parse()
+
 	// The ten lines: declare the experiment, run it, fetch the report.
 	spec := experiment.Spec{
 		Name:     "quickstart",
-		Dataset:  experiment.DatasetSpec{Coordinates: 20, Seed: 7},
+		Dataset:  experiment.DatasetSpec{Coordinates: 20, Seed: 7, StoreDir: *storeDir},
 		Backends: map[string]backend.Spec{"gemini": {Kind: "vlm", Model: "gemini-1.5-pro"}},
 		Sweeps:   []experiment.SweepSpec{{Name: "demo", Backends: []string{"gemini"}}},
 	}

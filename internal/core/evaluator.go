@@ -12,6 +12,7 @@ import (
 	"nbhd/internal/analysis"
 	"nbhd/internal/backend"
 	"nbhd/internal/ensemble"
+	"nbhd/internal/geo"
 	"nbhd/internal/metrics"
 	"nbhd/internal/render"
 	"nbhd/internal/scene"
@@ -397,14 +398,62 @@ func (e *Evaluator) RunMajorityVoting(ctx context.Context, reports map[vlm.Model
 // to the serial sweep because fused locations land at their coordinate's
 // index regardless of completion order. The context cancels mid-sweep.
 func (e *Evaluator) AnalyzeNeighborhood(ctx context.Context, b backend.Backend, tractFeet float64) (*NeighborhoodResult, error) {
+	nGroups := e.pipe.Study.Len() / FramesPerCoordinate
+	groups := make([]int, nGroups)
+	for i := range groups {
+		groups[i] = i
+	}
+	locations, err := e.classifyGroups(ctx, b, groups)
+	if err != nil {
+		return nil, err
+	}
+	return e.pipe.neighborhoodAnalysis(locations, tractFeet)
+}
+
+// NeighborhoodAt runs the same downstream analysis over only the corpus
+// coordinates within radiusFeet of center, selected in O(log n) through
+// the pipeline's spatial index instead of classifying the whole corpus.
+// Selection is exact (bit-identical to a linear distance scan) and the
+// chosen groups are classified in ascending coordinate-group order, so
+// the result is deterministic in (backend, center, radius).
+func (e *Evaluator) NeighborhoodAt(ctx context.Context, b backend.Backend, center geo.Coordinate, radiusFeet, tractFeet float64) (*NeighborhoodResult, error) {
+	hits := e.pipe.FrameIndex().Radius(center, radiusFeet)
+	seen := make(map[int]bool, len(hits)/FramesPerCoordinate)
+	groups := make([]int, 0, len(hits)/FramesPerCoordinate)
+	for _, h := range hits {
+		g := h.ID / FramesPerCoordinate
+		if !seen[g] {
+			seen[g] = true
+			groups = append(groups, g)
+		}
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: no corpus coordinates within %.0f ft of (%.5f, %.5f)", radiusFeet, center.Lat, center.Lng)
+	}
+	sort.Ints(groups)
+	locations, err := e.classifyGroups(ctx, b, groups)
+	if err != nil {
+		return nil, err
+	}
+	return e.pipe.neighborhoodAnalysis(locations, tractFeet)
+}
+
+// classifyGroups classifies the given coordinate groups (group g covers
+// corpus frames [g*FramesPerCoordinate, (g+1)*FramesPerCoordinate)) and
+// fuses each group's headings with any-vote fusion. Groups fan out
+// across the worker pool, one backend batch per group fed from the
+// shared caches; locations[i] is groups[i]'s fused profile regardless of
+// completion order. This is the one classification path under both
+// AnalyzeNeighborhood (all groups) and NeighborhoodAt (index-selected
+// groups).
+func (e *Evaluator) classifyGroups(ctx context.Context, b backend.Backend, groups []int) ([]analysis.LocationProfile, error) {
 	p := e.pipe
 	caps := b.Capabilities()
 	size := p.renderSizeFor(caps)
 	options := LLMOptions{}.backendOptions()
-	nGroups := p.Study.Len() / FramesPerCoordinate
 	workers := e.workers
-	if workers > nGroups {
-		workers = nGroups
+	if workers > len(groups) {
+		workers = len(groups)
 	}
 	if workers < 1 {
 		workers = 1
@@ -426,7 +475,7 @@ func (e *Evaluator) AnalyzeNeighborhood(ctx context.Context, b backend.Backend, 
 		})
 	}
 	next.Store(-1)
-	locations := make([]analysis.LocationProfile, nGroups)
+	locations := make([]analysis.LocationProfile, len(groups))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -435,11 +484,11 @@ func (e *Evaluator) AnalyzeNeighborhood(ctx context.Context, b backend.Backend, 
 				if ctx.Err() != nil {
 					return
 				}
-				g := int(next.Add(1))
-				if g >= nGroups {
+				gi := int(next.Add(1))
+				if gi >= len(groups) {
 					return
 				}
-				start := g * FramesPerCoordinate
+				start := groups[gi] * FramesPerCoordinate
 				items, err := p.frameItems(start, start+FramesPerCoordinate, size, caps.PerceivedFeatures)
 				if err != nil {
 					fail(err)
@@ -476,7 +525,7 @@ func (e *Evaluator) AnalyzeNeighborhood(ctx context.Context, b backend.Backend, 
 					return
 				}
 				fr := p.Study.Frames[start]
-				locations[g] = analysis.LocationProfile{
+				locations[gi] = analysis.LocationProfile{
 					Coordinate: fr.Scene.Point.Coordinate,
 					County:     fr.County,
 					Presence:   fused,
@@ -491,5 +540,5 @@ func (e *Evaluator) AnalyzeNeighborhood(ctx context.Context, b backend.Backend, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return p.neighborhoodAnalysis(locations, tractFeet)
+	return locations, nil
 }

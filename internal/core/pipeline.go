@@ -15,11 +15,13 @@ import (
 	"nbhd/internal/backend"
 	"nbhd/internal/classify"
 	"nbhd/internal/dataset"
+	"nbhd/internal/geoindex"
 	"nbhd/internal/labelme"
 	"nbhd/internal/metrics"
 	"nbhd/internal/prompt"
 	"nbhd/internal/render"
 	"nbhd/internal/scene"
+	"nbhd/internal/store"
 	"nbhd/internal/vlm"
 	"nbhd/internal/yolo"
 )
@@ -43,6 +45,12 @@ type Config struct {
 	// LLMRenderSize is the resolution of frames sent to LLMs; zero
 	// defaults to 96.
 	LLMRenderSize int
+	// StoreDir, when non-empty, opens (creating on demand) a persistent
+	// frame store there and serves renders through it: frames already in
+	// the store are memory-mapped instead of re-rendered, and fresh
+	// renders are persisted for every later run. Pipelines with a
+	// StoreDir own the store and must be Closed.
+	StoreDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +80,14 @@ type Pipeline struct {
 	// many models, committees, languages, or sweeps run over it.
 	cache     *dataset.RenderCache
 	featCache sync.Map // *render.Image -> *featEntry
+
+	// frameStore is the persistent render tier (nil without a StoreDir);
+	// the cache above consults it before rendering.
+	frameStore *store.Store
+
+	// geo is the lazily built spatial index over the corpus frames.
+	geoOnce sync.Once
+	geo     *geoindex.Index
 }
 
 // NewPipeline assembles the corpus and annotations.
@@ -85,21 +101,61 @@ func NewPipeline(cfg Config) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	store := labelme.NewStore()
+	ann := labelme.NewStore()
 	for _, fr := range study.Frames {
 		rec, err := labeler.Annotate(fr.Scene, cfg.DetectorInputSize, cfg.DetectorInputSize)
 		if err != nil {
 			return nil, fmt.Errorf("core: annotate %s: %w", fr.Scene.ID, err)
 		}
-		if err := store.Put(rec); err != nil {
+		if err := ann.Put(rec); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
-	return &Pipeline{cfg: cfg, Study: study, Annotations: store, cache: dataset.NewRenderCache(study)}, nil
+	p := &Pipeline{cfg: cfg, Study: study, Annotations: ann}
+	if cfg.StoreDir != "" {
+		fs, err := store.Open(cfg.StoreDir, store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		p.frameStore = fs
+		p.cache = dataset.NewPersistentRenderCache(study, fs)
+	} else {
+		p.cache = dataset.NewRenderCache(study)
+	}
+	return p, nil
+}
+
+// Close releases the persistent frame store, flushing its index. A
+// pipeline without a StoreDir has nothing to release; Close is then a
+// no-op, so defer p.Close() is always safe.
+func (p *Pipeline) Close() error {
+	if p.frameStore != nil {
+		return p.frameStore.Close()
+	}
+	return nil
 }
 
 // RenderCache exposes the pipeline's shared render cache.
 func (p *Pipeline) RenderCache() *dataset.RenderCache { return p.cache }
+
+// FrameStore exposes the persistent render tier, or nil when the
+// pipeline was built without a StoreDir.
+func (p *Pipeline) FrameStore() *store.Store { return p.frameStore }
+
+// FrameIndex returns the spatial index over the corpus frames (entry ID
+// = frame index in Study.Frames), building it on first use. Queries are
+// exact: nearest and radius results are bit-identical to a linear scan
+// with geo.Coordinate.DistanceFeet.
+func (p *Pipeline) FrameIndex() *geoindex.Index {
+	p.geoOnce.Do(func() {
+		entries := make([]geoindex.Entry, len(p.Study.Frames))
+		for i, fr := range p.Study.Frames {
+			entries[i] = geoindex.Entry{Coord: fr.Scene.Point.Coordinate, ID: i}
+		}
+		p.geo = geoindex.Build(entries)
+	})
+	return p.geo
+}
 
 // BaselineResult is the trained-detector evaluation (Table I).
 type BaselineResult struct {

@@ -7,6 +7,7 @@ import (
 
 	"nbhd/internal/render"
 	"nbhd/internal/scene"
+	"nbhd/internal/store"
 )
 
 // RenderCache memoizes rendered examples per (frame index, size) for one
@@ -14,6 +15,14 @@ import (
 // classifier, language, and sampling setting; the cache collapses all of
 // that to exactly one render per frame per resolution, including under
 // concurrent access (a per-slot sync.Once dedupes simultaneous misses).
+//
+// A cache built with NewPersistentRenderCache adds a second, durable
+// tier: misses consult the frame store before rendering (a warm start
+// serves the whole corpus from the memory-mapped store with zero
+// renders), and fresh renders are persisted so the next process never
+// repeats them — render once, serve forever. Store frames are
+// bit-identical to fresh renders (the store round-trips raw float32
+// pixels losslessly), so the tiers are interchangeable.
 //
 // Returned examples alias the cached Image (callers must treat the
 // pixels as read-only) but carry their own copy of the Objects slice,
@@ -23,11 +32,14 @@ import (
 // Study.RenderExamples call.
 type RenderCache struct {
 	study *Study
+	// persist is the optional durable tier; nil for RAM-only caches.
+	persist *store.Store
 
 	mu     sync.Mutex
 	bySize map[int][]*renderSlot
 
-	renders atomic.Int64
+	renders   atomic.Int64
+	storeHits atomic.Int64
 }
 
 type renderSlot struct {
@@ -41,12 +53,33 @@ func NewRenderCache(s *Study) *RenderCache {
 	return &RenderCache{study: s, bySize: make(map[int][]*renderSlot)}
 }
 
+// NewPersistentRenderCache builds a cache whose misses first consult
+// (and whose fresh renders populate) the given frame store. The caller
+// keeps ownership of the store and must keep it open for the cache's
+// lifetime. A nil store degrades to a RAM-only cache.
+func NewPersistentRenderCache(s *Study, st *store.Store) *RenderCache {
+	return &RenderCache{study: s, persist: st, bySize: make(map[int][]*renderSlot)}
+}
+
 // Study returns the corpus the cache renders from.
 func (c *RenderCache) Study() *Study { return c.study }
 
 // Renders reports how many render.Render calls the cache has issued —
-// the denominator for cache-effectiveness assertions.
+// the denominator for cache-effectiveness assertions. Frames served
+// from the persistent store do not count: a warm start over a fully
+// populated store reports zero renders.
 func (c *RenderCache) Renders() int64 { return c.renders.Load() }
+
+// StoreHits reports how many frames were served from the persistent
+// store instead of being rendered.
+func (c *RenderCache) StoreHits() int64 { return c.storeHits.Load() }
+
+// frameKey derives the content address of frame idx at the given
+// resolution — the values that fully determine its pixels.
+func (c *RenderCache) frameKey(idx, size int) store.Key {
+	sc := c.study.Frames[idx].Scene
+	return store.FrameKey(sc.Point.Coordinate, sc.Heading, size, sc.Seed)
+}
 
 func (c *RenderCache) slot(idx, size int) (*renderSlot, error) {
 	if idx < 0 || idx >= len(c.study.Frames) {
@@ -79,12 +112,30 @@ func (c *RenderCache) Example(idx, size int) (Example, error) {
 	}
 	s.once.Do(func() {
 		fr := c.study.Frames[idx]
+		if c.persist != nil {
+			img, ok, err := c.persist.Get(c.frameKey(idx, size))
+			if err != nil {
+				s.err = fmt.Errorf("dataset: store get %s: %w", fr.Scene.ID, err)
+				return
+			}
+			if ok {
+				c.storeHits.Add(1)
+				s.ex = &Example{ID: fr.Scene.ID, Image: img, Objects: fr.Scene.Objects}
+				return
+			}
+		}
 		img, err := render.Render(fr.Scene, render.Config{Width: size, Height: size})
 		if err != nil {
 			s.err = fmt.Errorf("dataset: render %s: %w", fr.Scene.ID, err)
 			return
 		}
 		c.renders.Add(1)
+		if c.persist != nil {
+			if err := c.persist.Put(c.frameKey(idx, size), img); err != nil {
+				s.err = fmt.Errorf("dataset: store put %s: %w", fr.Scene.ID, err)
+				return
+			}
+		}
 		s.ex = &Example{ID: fr.Scene.ID, Image: img, Objects: fr.Scene.Objects}
 	})
 	if s.err != nil {

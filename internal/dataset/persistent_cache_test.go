@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"testing"
+
+	"nbhd/internal/store"
+)
+
+func buildTestStudy(t *testing.T) *Study {
+	t.Helper()
+	st, err := BuildStudy(StudyConfig{Coordinates: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestWarmStartZeroRenders is the render-once/serve-forever guarantee:
+// a second cache over the same store must serve the entire corpus
+// without a single render.Render call.
+func TestWarmStartZeroRenders(t *testing.T) {
+	study := buildTestStudy(t)
+	dir := t.TempDir()
+	const size = 32
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewPersistentRenderCache(study, st)
+	coldPix := make(map[int][]float32)
+	for i := 0; i < study.Len(); i++ {
+		ex, err := cold.Example(i, size)
+		if err != nil {
+			t.Fatalf("cold Example(%d): %v", i, err)
+		}
+		coldPix[i] = append([]float32(nil), ex.Image.Pix...)
+	}
+	if got := cold.Renders(); got != int64(study.Len()) {
+		t.Fatalf("cold Renders = %d, want %d", got, study.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	warm := NewPersistentRenderCache(study, st2)
+	for i := 0; i < study.Len(); i++ {
+		ex, err := warm.Example(i, size)
+		if err != nil {
+			t.Fatalf("warm Example(%d): %v", i, err)
+		}
+		// Store-served pixels must be bit-identical to the cold render.
+		if len(ex.Image.Pix) != len(coldPix[i]) {
+			t.Fatalf("frame %d: pixel count differs", i)
+		}
+		for j := range ex.Image.Pix {
+			if ex.Image.Pix[j] != coldPix[i][j] {
+				t.Fatalf("frame %d pixel %d differs between store and render", i, j)
+			}
+		}
+	}
+	if got := warm.Renders(); got != 0 {
+		t.Fatalf("warm Renders = %d, want 0 (every frame must come from the store)", got)
+	}
+	if got := warm.StoreHits(); got != int64(study.Len()) {
+		t.Fatalf("warm StoreHits = %d, want %d", got, study.Len())
+	}
+}
+
+// TestPersistentTierPerResolution: the key includes the resolution, so
+// one store holds the same corpus at several sizes without collisions.
+func TestPersistentTierPerResolution(t *testing.T) {
+	study := buildTestStudy(t)
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c := NewPersistentRenderCache(study, st)
+	a, err := c.Example(0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Example(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Image.W != 32 || b.Image.W != 64 {
+		t.Fatalf("sizes = %d/%d, want 32/64", a.Image.W, b.Image.W)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store Len = %d, want 2 (one record per resolution)", st.Len())
+	}
+}
+
+// TestNilStoreDegradesToRAMOnly keeps the constructor honest.
+func TestNilStoreDegradesToRAMOnly(t *testing.T) {
+	study := buildTestStudy(t)
+	c := NewPersistentRenderCache(study, nil)
+	if _, err := c.Example(0, 32); err != nil {
+		t.Fatal(err)
+	}
+	if c.Renders() != 1 || c.StoreHits() != 0 {
+		t.Fatalf("Renders/StoreHits = %d/%d, want 1/0", c.Renders(), c.StoreHits())
+	}
+}

@@ -172,6 +172,9 @@ func (r *Runner) Run(ctx context.Context, spec Spec, sink Sink) (*Result, error)
 	if err != nil {
 		return fail(fmt.Errorf("experiment: %s: %w", spec.Name, err))
 	}
+	// Close flushes the persistent frame store's index (a no-op without
+	// a store_dir); best-effort, like the backend closes below.
+	defer func() { _ = pipe.Close() }()
 	workers := spec.Workers
 	if r.cfg.Workers > 0 {
 		workers = r.cfg.Workers

@@ -54,6 +54,12 @@ type DatasetSpec struct {
 	// LLMRenderSize is the resolution of frames sent to LLM backends;
 	// zero defaults to 96.
 	LLMRenderSize int `json:"llm_render_size,omitempty"`
+	// StoreDir, when set, backs the run's renders with a persistent
+	// frame store at that path: frames rendered by any earlier run with
+	// the same corpus parameters are memory-mapped instead of
+	// re-rendered, and this run's renders persist for the next (see
+	// internal/store).
+	StoreDir string `json:"store_dir,omitempty"`
 }
 
 // coreConfig lowers the dataset spec to the pipeline's configuration.
@@ -63,6 +69,7 @@ func (d DatasetSpec) coreConfig() core.Config {
 		Seed:              d.Seed,
 		DetectorInputSize: d.DetectorInputSize,
 		LLMRenderSize:     d.LLMRenderSize,
+		StoreDir:          d.StoreDir,
 	}
 }
 

@@ -1,0 +1,52 @@
+package experiment_test
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nbhd/internal/backend"
+	"nbhd/internal/experiment"
+	"nbhd/internal/store"
+)
+
+// TestStoreDirRunsAreReproducible runs the same spec twice against one
+// persistent frame store: the first run populates it, the second serves
+// every frame from it, and the reports must be identical — the store
+// tier is invisible to results.
+func TestStoreDirRunsAreReproducible(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "frames")
+	spec := experiment.Spec{
+		Name:    "store-demo",
+		Dataset: experiment.DatasetSpec{Coordinates: 4, Seed: 9, StoreDir: dir},
+		Backends: map[string]backend.Spec{
+			"chatgpt": {Kind: "vlm", Model: "chatgpt-4o-mini"},
+		},
+		Sweeps: []experiment.SweepSpec{{Name: "models", Backends: []string{"chatgpt"}}},
+	}
+	first, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	// The run persisted its frames and released the writer lock.
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("store after run: %v", err)
+	}
+	records := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 4; records != want { // 4 coordinates x 4 headings, one resolution
+		t.Fatalf("store holds %d records after run, want %d", records, want)
+	}
+
+	second, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatalf("second run (warm store): %v", err)
+	}
+	if !reflect.DeepEqual(first.Sweeps, second.Sweeps) {
+		t.Fatal("store-served run differs from the run that rendered")
+	}
+}

@@ -42,6 +42,7 @@ import (
 
 	"nbhd/internal/backend"
 	"nbhd/internal/dataset"
+	"nbhd/internal/geoindex"
 	"nbhd/internal/llmserve"
 	"nbhd/internal/prompt"
 	"nbhd/internal/render"
@@ -178,6 +179,11 @@ type Server struct {
 	owned     []backend.Backend
 	closeOnce sync.Once
 	closeErr  error
+
+	// geo is the lazily built spatial index over the attached dataset's
+	// coordinates (see spatial.go); unused without Options.Frames.
+	geoOnce sync.Once
+	geo     *geoindex.Index
 }
 
 // New opens every configured backend into a warm pool and assembles the
@@ -295,6 +301,8 @@ func (s *Server) Close() error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/classify", s.handleClassify)
+	mux.HandleFunc("/v1/nearest", s.handleNearest)
+	mux.HandleFunc("/v1/neighborhood", s.handleNeighborhood)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metricsz", s.handleMetrics)
 	return mux

@@ -61,6 +61,82 @@ type ClassifyResponse struct {
 	RequestID string `json:"request_id"`
 }
 
+// WireCoordinate is a latitude/longitude pair on the wire.
+type WireCoordinate struct {
+	Lat float64 `json:"lat"`
+	Lng float64 `json:"lng"`
+}
+
+// NearestResponse is the 200 body of GET /v1/nearest?lat=&lng=&k=.
+type NearestResponse struct {
+	// Query echoes the query point.
+	Query WireCoordinate `json:"query"`
+	// Results are the k nearest corpus coordinates, ordered by
+	// (distance, coordinate group); exact, not approximate.
+	Results   []NearestResult `json:"results"`
+	RequestID string          `json:"request_id"`
+}
+
+// NearestResult is one corpus coordinate near the query point.
+type NearestResult struct {
+	Coordinate   WireCoordinate `json:"coordinate"`
+	County       string         `json:"county"`
+	DistanceFeet float64        `json:"distance_feet"`
+	// Frames are the corpus frame indices at this coordinate (one per
+	// cardinal heading), usable as /v1/classify frame.index values.
+	Frames []int `json:"frames"`
+}
+
+// NeighborhoodRequest is the body of POST /v1/neighborhood: classify
+// every corpus coordinate within RadiusFeet of (Lat, Lng) and fuse each
+// coordinate's headings with any-vote fusion.
+type NeighborhoodRequest struct {
+	// Backend names the route, as in ClassifyRequest.
+	Backend string `json:"backend"`
+	// Lat and Lng center the query (both required).
+	Lat *float64 `json:"lat"`
+	Lng *float64 `json:"lng"`
+	// RadiusFeet is the selection radius (required, positive).
+	RadiusFeet float64 `json:"radius_feet"`
+	// MaxCoordinates caps the sweep; the nearest coordinates win and the
+	// response sets Truncated. Zero defaults to 64.
+	MaxCoordinates int `json:"max_coordinates,omitempty"`
+	// Indicators, Language, Mode, Temperature, TopP, and Nonce mean what
+	// they mean on ClassifyRequest and share its coalescer/cache keys.
+	Indicators  []string `json:"indicators,omitempty"`
+	Language    string   `json:"language,omitempty"`
+	Mode        string   `json:"mode,omitempty"`
+	Temperature float64  `json:"temperature,omitempty"`
+	TopP        float64  `json:"top_p,omitempty"`
+	Nonce       int64    `json:"nonce,omitempty"`
+}
+
+// NeighborhoodResponse is the 200 body of POST /v1/neighborhood.
+type NeighborhoodResponse struct {
+	Backend    string         `json:"backend"`
+	Query      WireCoordinate `json:"query"`
+	RadiusFeet float64        `json:"radius_feet"`
+	// Truncated reports that more coordinates matched than
+	// MaxCoordinates allowed; the nearest ones were kept.
+	Truncated bool `json:"truncated,omitempty"`
+	// Locations are the classified coordinates, nearest first.
+	Locations []LocationResult `json:"locations"`
+	// Counts aggregates: indicator name -> number of locations where the
+	// fused verdict is present.
+	Counts    map[string]int `json:"counts"`
+	RequestID string         `json:"request_id"`
+}
+
+// LocationResult is one fused coordinate verdict.
+type LocationResult struct {
+	Coordinate   WireCoordinate `json:"coordinate"`
+	County       string         `json:"county"`
+	DistanceFeet float64        `json:"distance_feet"`
+	// Present lists the indicators whose any-vote fusion over the
+	// coordinate's headings is positive.
+	Present []string `json:"present"`
+}
+
 // Health is the /healthz body.
 type Health struct {
 	// Status is "ok" or "draining".

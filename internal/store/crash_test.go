@@ -1,0 +1,205 @@
+package store
+
+// Crash-safety suite: every way a writer can die mid-append must leave
+// a store that reopens cleanly, serves every complete record, refuses
+// to serve the torn one, and (for writers) truncates the junk so the
+// next Put starts from a clean tail.
+
+import (
+	"os"
+	"testing"
+)
+
+// buildStore writes n records and returns the directory.
+func buildStore(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testImage(t, 16, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// truncateSegment chops the segment file to length and removes the
+// index file, simulating a crash before either was durably written.
+func truncateSegment(t *testing.T, dir string, length int64) {
+	t.Helper()
+	if err := os.Truncate(segmentPath(dir, 0), length); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(indexPath(dir)); err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+}
+
+func segSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(segmentPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func TestTruncatedTailMidPayload(t *testing.T) {
+	const n = 5
+	dir := buildStore(t, n)
+	// Chop 100 bytes off the last record's payload.
+	truncateSegment(t, dir, segSize(t, dir)-100)
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != n-1 {
+		t.Fatalf("Len = %d, want %d (torn record must not be served)", s.Len(), n-1)
+	}
+	for i := 0; i < n-1; i++ {
+		got, ok, err := s.Get(testKey(i))
+		if !ok || err != nil {
+			t.Fatalf("Get %d after recovery: ok=%v err=%v", i, ok, err)
+		}
+		if !samePixels(got, testImage(t, 16, int64(i))) {
+			t.Fatalf("record %d corrupted by recovery", i)
+		}
+	}
+	if _, ok, _ := s.Get(testKey(n - 1)); ok {
+		t.Fatal("torn record was served")
+	}
+	// The writer must have truncated the junk and be able to append.
+	if err := s.Put(testKey(n-1), testImage(t, 16, int64(n-1))); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("Len after repair+reappend = %d, want %d", s2.Len(), n)
+	}
+}
+
+func TestTruncatedTailMidHeader(t *testing.T) {
+	const n = 3
+	dir := buildStore(t, n)
+	// Leave only 20 bytes of the final record's 52-byte header.
+	recBytes := int64(recHeaderSize + 16*16*3*4)
+	truncateSegment(t, dir, segSize(t, dir)-recBytes+20)
+
+	s, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != n-1 {
+		t.Fatalf("Len = %d, want %d", s.Len(), n-1)
+	}
+}
+
+func TestGarbageTailIsNotServed(t *testing.T) {
+	const n = 4
+	dir := buildStore(t, n)
+	// Overwrite the last record's payload with garbage while keeping
+	// the file length — only the CRC can catch this torn write.
+	f, err := os.OpenFile(segmentPath(dir, 0), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, 512)
+	for i := range garbage {
+		garbage[i] = byte(i * 31)
+	}
+	if _, err := f.WriteAt(garbage, segSize(t, dir)-512); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(indexPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != n-1 {
+		t.Fatalf("Len = %d, want %d (CRC-failing tail must be dropped)", s.Len(), n-1)
+	}
+}
+
+func TestStaleIndexAfterCrashTruncation(t *testing.T) {
+	// A synced index that claims more than the (since truncated)
+	// segment holds must be discarded, not trusted.
+	const n = 5
+	dir := buildStore(t, n) // Close wrote a fresh index covering all n
+	if err := os.Truncate(segmentPath(dir, 0), segSize(t, dir)-100); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with stale index: %v", err)
+	}
+	defer s.Close()
+	if s.Len() != n-1 {
+		t.Fatalf("Len = %d, want %d", s.Len(), n-1)
+	}
+	for i := 0; i < n-1; i++ {
+		if _, ok, err := s.Get(testKey(i)); !ok || err != nil {
+			t.Fatalf("Get %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+}
+
+func TestEmptySegmentStore(t *testing.T) {
+	// A store that crashed before writing any record is just a header.
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s2.Len())
+	}
+	if err := s2.Put(testKey(0), testImage(t, 8, 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentTruncatedBelowHeader(t *testing.T) {
+	dir := buildStore(t, 1)
+	if err := os.Truncate(segmentPath(dir, 0), 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(indexPath(dir)); err != nil {
+		t.Fatal(err)
+	}
+	// A segment shorter than its header is unreadable — that's a hard
+	// error, not a silent empty store.
+	if _, err := Open(dir, Options{ReadOnly: true}); err == nil {
+		t.Fatal("Open accepted a segment shorter than its header")
+	}
+}

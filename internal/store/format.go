@@ -1,0 +1,168 @@
+package store
+
+// On-disk format constants and record framing for format version 1.
+//
+// The authoritative specification is docs/STORE_FORMAT.md; this file
+// implements it. Any change to the constants or layouts below is a
+// format change and MUST follow that document's versioning rules (bump
+// FormatVersion, keep a reader for every older version). The format
+// tests assert these constants against the spec's stated values so the
+// two cannot drift silently.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"nbhd/internal/geo"
+)
+
+const (
+	// FormatVersion is the store's on-disk format version, written into
+	// every segment and index header. Readers reject versions they do
+	// not know; see docs/STORE_FORMAT.md § Versioning.
+	FormatVersion = 1
+
+	// segMagic opens every segment file: "NBHDSEG1".
+	segMagic = "NBHDSEG1"
+	// idxMagic opens the index file: "NBHDIDX1".
+	idxMagic = "NBHDIDX1"
+
+	// segHeaderSize is the fixed segment header: magic (8) + format
+	// version uint32 LE (4) + reserved uint32 (4).
+	segHeaderSize = 16
+
+	// recHeaderSize is the fixed per-record header preceding each
+	// payload: key (32) + kind uint8 + 3 reserved bytes + width uint32 +
+	// height uint32 + payload length uint32 + payload CRC-32C uint32,
+	// all little-endian. 52 bytes, a multiple of 4 so float32 payloads
+	// stay 4-byte aligned in the mapping.
+	recHeaderSize = 32 + 4 + 4 + 4 + 4 + 4
+
+	// idxEntrySize is one index-file entry: key (32) + segment ordinal
+	// uint32 + byte offset uint64.
+	idxEntrySize = 32 + 4 + 8
+
+	// RecordOverheadBudget is the store's stated bytes-per-record
+	// budget: on-disk bytes beyond the raw pixel payload (record header
+	// plus index entry) must not exceed this, asserted geobed-style by
+	// TestBytesPerRecordBudget. 52 + 44 = 96 actual; the budget leaves
+	// headroom for one more header field before a format bump is due.
+	RecordOverheadBudget = 128
+
+	// KindFrameRawF32 is the only record kind in format v1: a raw
+	// little-endian float32 CHW pixel payload (render.Image.EncodeRawF32).
+	KindFrameRawF32 = 1
+)
+
+// crcTable is the Castagnoli polynomial table (CRC-32C, hardware
+// accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Key is a 32-byte content address: the SHA-256 of a frame's canonical
+// identity. Two stores built from the same corpus at the same
+// resolution produce the same keys, which is what makes "render once,
+// serve forever" safe across processes and machines.
+type Key [32]byte
+
+// String renders the key as hex for logs and errors.
+func (k Key) String() string { return fmt.Sprintf("%x", k[:8]) }
+
+// FrameKey derives the content address of one rendered frame from the
+// values that fully determine its pixels: the sample coordinate, the
+// camera heading, the render resolution, and the scene seed (rendering
+// is deterministic in the scene, and the scene is deterministic in
+// these). The canonical serialization is fixed by docs/STORE_FORMAT.md
+// § Keys: the ASCII tag "nbhd-frame-v1" followed by lat and lng as
+// IEEE-754 float64 little-endian, heading as int32 LE, size as int32
+// LE, and seed as int64 LE.
+func FrameKey(coord geo.Coordinate, heading geo.Heading, size int, sceneSeed int64) Key {
+	var buf [13 + 8 + 8 + 4 + 4 + 8]byte
+	copy(buf[:13], "nbhd-frame-v1")
+	binary.LittleEndian.PutUint64(buf[13:], math.Float64bits(coord.Lat))
+	binary.LittleEndian.PutUint64(buf[21:], math.Float64bits(coord.Lng))
+	binary.LittleEndian.PutUint32(buf[29:], uint32(int32(heading)))
+	binary.LittleEndian.PutUint32(buf[33:], uint32(int32(size)))
+	binary.LittleEndian.PutUint64(buf[37:], uint64(sceneSeed))
+	return Key(sha256.Sum256(buf[:]))
+}
+
+// recHeader is the decoded fixed header of one record.
+type recHeader struct {
+	key        Key
+	kind       uint8
+	width      uint32
+	height     uint32
+	payloadLen uint32
+	crc        uint32
+}
+
+// encode writes the header into dst (recHeaderSize bytes).
+func (h *recHeader) encode(dst []byte) {
+	copy(dst[:32], h.key[:])
+	dst[32] = h.kind
+	dst[33], dst[34], dst[35] = 0, 0, 0
+	binary.LittleEndian.PutUint32(dst[36:], h.width)
+	binary.LittleEndian.PutUint32(dst[40:], h.height)
+	binary.LittleEndian.PutUint32(dst[44:], h.payloadLen)
+	binary.LittleEndian.PutUint32(dst[48:], h.crc)
+}
+
+// decodeRecHeader parses the header at the start of src.
+func decodeRecHeader(src []byte) recHeader {
+	var h recHeader
+	copy(h.key[:], src[:32])
+	h.kind = src[32]
+	h.width = binary.LittleEndian.Uint32(src[36:])
+	h.height = binary.LittleEndian.Uint32(src[40:])
+	h.payloadLen = binary.LittleEndian.Uint32(src[44:])
+	h.crc = binary.LittleEndian.Uint32(src[48:])
+	return h
+}
+
+// validShape reports whether the header describes a structurally legal
+// record of a known kind: the only v1 kind with a payload length that
+// matches its declared dimensions.
+func (h *recHeader) validShape() bool {
+	if h.kind != KindFrameRawF32 {
+		return false
+	}
+	if h.width == 0 || h.height == 0 {
+		return false
+	}
+	want := int64(h.width) * int64(h.height) * 3 * 4
+	return want == int64(h.payloadLen)
+}
+
+// segmentName returns the file name of segment ordinal n: "seg-00000.nbs".
+func segmentName(n int) string { return fmt.Sprintf("seg-%05d.nbs", n) }
+
+// indexFileName is the advisory index file beside the segments.
+const indexFileName = "index.nbi"
+
+// lockFileName serializes writers; see docs/STORE_FORMAT.md § Locking.
+const lockFileName = "LOCK"
+
+// encodeSegHeader writes a segment file header.
+func encodeSegHeader() []byte {
+	buf := make([]byte, segHeaderSize)
+	copy(buf, segMagic)
+	binary.LittleEndian.PutUint32(buf[8:], FormatVersion)
+	return buf
+}
+
+// checkSegHeader validates a segment header prefix.
+func checkSegHeader(buf []byte) error {
+	if len(buf) < segHeaderSize {
+		return fmt.Errorf("store: segment shorter than its %d-byte header", segHeaderSize)
+	}
+	if string(buf[:8]) != segMagic {
+		return fmt.Errorf("store: bad segment magic %q", buf[:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != FormatVersion {
+		return fmt.Errorf("store: segment format version %d, this build reads only %d", v, FormatVersion)
+	}
+	return nil
+}

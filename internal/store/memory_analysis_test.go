@@ -1,0 +1,121 @@
+package store
+
+// Memory/footprint analysis in the geobed discipline: the store's
+// per-record cost is a stated, tested budget, not an accident. If a
+// format change grows the overhead past RecordOverheadBudget, this
+// suite fails and the change owes either a smaller layout or an updated
+// budget (and docs/STORE_FORMAT.md revision) with the regression called
+// out in review.
+
+import (
+	"fmt"
+	"testing"
+
+	"nbhd/internal/geo"
+)
+
+// TestFormatConstantsMatchSpec pins the implementation to the numbers
+// stated in docs/STORE_FORMAT.md. Changing any of these IS a format
+// change: bump FormatVersion and update the spec before touching the
+// expectations here.
+func TestFormatConstantsMatchSpec(t *testing.T) {
+	if FormatVersion != 1 {
+		t.Fatalf("FormatVersion = %d; the v1 suite only covers format 1", FormatVersion)
+	}
+	if segHeaderSize != 16 {
+		t.Fatalf("segment header = %d bytes, spec says 16", segHeaderSize)
+	}
+	if recHeaderSize != 52 {
+		t.Fatalf("record header = %d bytes, spec says 52", recHeaderSize)
+	}
+	if recHeaderSize%4 != 0 {
+		t.Fatalf("record header %d bytes breaks the 4-byte payload alignment guarantee", recHeaderSize)
+	}
+	if idxEntrySize != 44 {
+		t.Fatalf("index entry = %d bytes, spec says 44", idxEntrySize)
+	}
+	if got := len(segMagic); got != 8 {
+		t.Fatalf("segment magic is %d bytes, spec says 8", got)
+	}
+	var k Key
+	if len(k) != 32 {
+		t.Fatalf("key = %d bytes, spec says 32 (SHA-256)", len(k))
+	}
+}
+
+// TestBytesPerRecordBudget stores a realistic corpus slice and asserts
+// the measured on-disk overhead per record — everything beyond raw
+// pixel payload, across segments and the index file — stays within the
+// stated RecordOverheadBudget.
+func TestBytesPerRecordBudget(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testImage(t, 32, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Records != n {
+		t.Fatalf("Records = %d, want %d", st.Records, n)
+	}
+	onDisk := st.SegmentBytes + st.IndexBytes
+	overhead := onDisk - st.PayloadBytes
+	perRecord := float64(overhead) / float64(n)
+	t.Logf("on-disk %d B for %d B payload across %d records: %.1f B/record overhead (budget %d)",
+		onDisk, st.PayloadBytes, n, perRecord, RecordOverheadBudget)
+	if perRecord > RecordOverheadBudget {
+		t.Fatalf("overhead %.1f B/record exceeds the stated budget of %d", perRecord, RecordOverheadBudget)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverheadIsExactlyHeadersPlusIndex documents where every overhead
+// byte goes: per-record header + per-record index entry + fixed file
+// headers. No hidden padding, no write amplification.
+func TestOverheadIsExactlyHeadersPlusIndex(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const n = 25
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testImage(t, 16, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	wantSeg := int64(segHeaderSize) + int64(n)*recHeaderSize + st.PayloadBytes
+	if st.SegmentBytes != wantSeg {
+		t.Fatalf("SegmentBytes = %d, want exactly %d", st.SegmentBytes, wantSeg)
+	}
+	wantIdx := int64(idxFixedHeader) + 8*int64(st.Segments) + int64(n)*idxEntrySize + 4
+	if st.IndexBytes != wantIdx {
+		t.Fatalf("IndexBytes = %d, want exactly %d", st.IndexBytes, wantIdx)
+	}
+}
+
+// TestKeyDerivationIsStable pins FrameKey's canonical serialization:
+// the same inputs must hash identically forever (a silent change would
+// orphan every frame in every existing store).
+func TestKeyDerivationIsStable(t *testing.T) {
+	k := FrameKey(geo.Coordinate{Lat: 35.25, Lng: -79.5}, geo.HeadingEast, 96, 42)
+	const want = "b83b00b3e9d0052c70fbeabbb14fa40397e5c0af220421861d545d8324bab981"
+	if got := fmt.Sprintf("%x", k[:]); got != want {
+		t.Fatalf("FrameKey canonical hash changed:\n got %s\nwant %s\n(this breaks every existing store; see docs/STORE_FORMAT.md § Keys)", got, want)
+	}
+}

@@ -1,0 +1,30 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// Non-unix fallback: read the segment into memory instead of mapping
+// it, and skip advisory locking. Correctness is identical; the
+// render-once/serve-forever and page-cache-sharing properties degrade
+// to per-process copies.
+
+func mmapFile(f *os.File, length int64) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, length)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, length), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func munmap(data []byte) error { return nil }
+
+func lockFile(f *os.File) error { return nil }
+
+func unlockFile(f *os.File) error { return nil }

@@ -1,0 +1,36 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps length bytes of f read-only. Length zero returns an
+// empty mapping. The mapping is shared, so pages land in (and are
+// served from) the OS page cache — concurrent reader processes of the
+// same store share one physical copy of the corpus.
+func mmapFile(f *os.File, length int64) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}
+
+// lockFile takes an exclusive advisory lock (single-writer rule);
+// readers never lock.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+func unlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}
