@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-store run-experiment serve-smoke fmt fmt-check vet godoc-check check
+.PHONY: all build test race bench bench-smoke bench-store bench-quant run-experiment serve-smoke fmt fmt-check vet godoc-check check
 
 all: build
 
@@ -29,7 +29,7 @@ bench:
 # zero-allocation training step), with -benchmem so allocation regressions
 # in the pooled hot path are visible in CI artifacts.
 bench-smoke:
-	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep|ConvForward|ConvBackward|TrainEpoch|DetectorForward|Nearest|WarmStart' -benchtime=1x -benchmem
+	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep|ConvForward|ConvBackward|TrainEpoch|DetectorForward|PredictBatch|Nearest|WarmStart' -benchtime=1x -benchmem
 
 # Spatial-layer benchmarks on their own: the geo index vs the linear
 # scan it replaced, and warm-start store serving vs cold rendering.
@@ -37,6 +37,15 @@ bench-smoke:
 # artifact.
 bench-store:
 	$(GO) test -run=NONE -bench='BenchmarkNearest|BenchmarkWarmStart' -benchtime=1x -benchmem
+
+# Quantization benchmarks on their own: the GEMM size sweep (packed f32
+# vs int8 kernel), the f32-vs-int8 end-to-end inference pairs at
+# paper-realistic channel widths, and the accuracy-drift recorder. CI
+# tees the output to BENCH_pr7.json, the quantized-inference perf +
+# drift artifact.
+bench-quant:
+	$(GO) test -run=NONE -bench='GEMMSizes' -benchtime=1x -benchmem ./internal/tensor
+	$(GO) test -run=NONE -bench='DetectorForward|PredictBatch|TrainEpoch|QuantDrift' -benchtime=1x -benchmem
 
 # Executes the small built-in "smoke" experiment spec end to end
 # through the declarative runner (two model sweeps plus their majority

@@ -50,6 +50,14 @@ func main() {
 	}
 }
 
+// quantSuffix annotates the training banner when int8 inference is on.
+func quantSuffix(on bool) string {
+	if on {
+		return ", int8 inference"
+	}
+	return ""
+}
+
 func run() error {
 	coords := flag.Int("coords", 150, "sampled coordinates (4 frames each)")
 	seed := flag.Int64("seed", 1, "seed")
@@ -59,6 +67,7 @@ func run() error {
 	baseURL := flag.String("base-url", "http://127.0.0.1:8080", "llmserve base URL for -backend http")
 	apiKey := flag.String("api-key", "", "bearer token for -backend http")
 	trainEpochs := flag.Int("train-epochs", 20, "training epochs for -backend yolo/cnn")
+	quant := flag.Bool("quant", false, "run -backend yolo/cnn inference on the int8 quantized path")
 	runDir := flag.String("run-dir", "", "write run artifacts (manifest + per-sweep report JSON) under this directory")
 	verbose := flag.Bool("v", false, "stream run progress events to stderr")
 	flag.Parse()
@@ -66,10 +75,13 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	cfg := experiment.BuiltinConfig{Coordinates: *coords, Seed: *seed, TrainEpochs: *trainEpochs}
+	cfg := experiment.BuiltinConfig{Coordinates: *coords, Seed: *seed, TrainEpochs: *trainEpochs, Quantized: *quant}
 	specName := *experimentName
 	switch *backendName {
 	case "local", "http":
+		if *quant {
+			return fmt.Errorf("-quant applies only to -backend yolo/cnn")
+		}
 		switch specName {
 		case "all", "tables", "f4", "f5", "f6", "params", "smoke":
 		default:
@@ -81,10 +93,10 @@ func run() error {
 		}
 	case "yolo":
 		specName = "yolo"
-		fmt.Printf("training detector baseline (%d epochs)...\n", *trainEpochs)
+		fmt.Printf("training detector baseline (%d epochs%s)...\n", *trainEpochs, quantSuffix(*quant))
 	case "cnn":
 		specName = "cnn"
-		fmt.Printf("training scene-classification CNN (%d epochs)...\n", *trainEpochs)
+		fmt.Printf("training scene-classification CNN (%d epochs%s)...\n", *trainEpochs, quantSuffix(*quant))
 	default:
 		return fmt.Errorf("unknown backend %q (want local, http, yolo, or cnn)", *backendName)
 	}

@@ -83,6 +83,10 @@ type Capabilities struct {
 	// RenderSize is the square frame resolution the backend requires;
 	// zero means the engine's default (the LLM render size).
 	RenderSize int
+	// Quantized reports that the backend's model runs the int8 inference
+	// path instead of f32 — surfaced so reports and the serve gateway can
+	// attribute throughput and accuracy drift to the quantized kernels.
+	Quantized bool
 }
 
 // Backend classifies batches of street-view frames.
@@ -96,6 +100,32 @@ type Backend interface {
 	// cancellation and return answer vectors aligned with
 	// req.Options.Indicators for every item.
 	Classify(ctx context.Context, req BatchRequest) (BatchResult, error)
+}
+
+// ComputeStats counts a backend's model-level inference dispatches,
+// split by numeric path. The serve gateway's /metricsz merges these
+// per-backend counters with the process-wide tensor kernel counters.
+type ComputeStats struct {
+	// F32Infers and QuantizedInfers count forward passes dispatched to
+	// the float32 and int8 paths respectively.
+	F32Infers       uint64 `json:"f32_infers"`
+	QuantizedInfers uint64 `json:"quantized_infers"`
+}
+
+// ComputeStatser is the optional interface backends with an in-process
+// neural model implement to expose their dispatch counters. Stats
+// returns a snapshot; counters only grow over the backend's lifetime.
+type ComputeStatser interface {
+	ComputeStats() ComputeStats
+}
+
+// StatsOf snapshots a backend's compute counters, reporting ok=false
+// for backends without an in-process model.
+func StatsOf(b Backend) (ComputeStats, bool) {
+	if s, ok := b.(ComputeStatser); ok {
+		return s.ComputeStats(), true
+	}
+	return ComputeStats{}, false
 }
 
 // Close releases a backend's owned resources. Adapters that hold

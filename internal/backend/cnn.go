@@ -21,6 +21,11 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
+		if s.Quantized {
+			if err := m.SetQuantized(true); err != nil {
+				return nil, err
+			}
+		}
 		return NewCNN(m, s.Threshold)
 	})
 }
@@ -60,7 +65,15 @@ func (c *CNN) Capabilities() Capabilities {
 	return Capabilities{
 		PreferredBatch: 16,
 		RenderSize:     c.model.InputSize(),
+		Quantized:      c.model.Quantized(),
 	}
+}
+
+// ComputeStats exposes the classifier's f32-vs-int8 dispatch counters
+// for the serve gateway's /metricsz.
+func (c *CNN) ComputeStats() ComputeStats {
+	f32, quant := c.model.InferCounts()
+	return ComputeStats{F32Infers: f32, QuantizedInfers: quant}
 }
 
 // Classify predicts presence probabilities for every frame with one

@@ -21,8 +21,8 @@ import (
 //	vlm        Model
 //	committee  Models
 //	http       Model, BaseURL, APIKey, MaxInFlight, PreferredBatch, Encoding
-//	yolo       Epochs, ScoreThresh, NMSIoU   (needs an Env to train)
-//	cnn        Epochs, Threshold             (needs an Env to train)
+//	yolo       Epochs, ScoreThresh, NMSIoU, Quantized   (needs an Env to train)
+//	cnn        Epochs, Threshold, Quantized             (needs an Env to train)
 //	voting     Name, Members
 type Spec struct {
 	// Kind selects the registered factory ("vlm", "http", "voting", ...).
@@ -57,6 +57,10 @@ type Spec struct {
 	NMSIoU      float64 `json:"nms_iou,omitempty"`
 	// Threshold is the cnn kind's presence cutoff; zero defaults to 0.5.
 	Threshold float64 `json:"threshold,omitempty"`
+	// Quantized switches the yolo and cnn kinds to int8 inference after
+	// training: weights are quantized once, activations per batch. See
+	// docs/QUANTIZATION.md for the scheme and its accuracy envelope.
+	Quantized bool `json:"quantized,omitempty"`
 	// Name labels the voting kind in reports; empty defaults to "voting".
 	Name string `json:"name,omitempty"`
 	// Members are the voting kind's member backend specs.

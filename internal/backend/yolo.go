@@ -22,6 +22,11 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
+		if s.Quantized {
+			if err := m.SetQuantized(true); err != nil {
+				return nil, err
+			}
+		}
 		return NewYOLO(m, s.ScoreThresh, s.NMSIoU)
 	})
 }
@@ -71,7 +76,15 @@ func (y *YOLO) Capabilities() Capabilities {
 	return Capabilities{
 		PreferredBatch: 16,
 		RenderSize:     y.model.InputSize(),
+		Quantized:      y.model.Quantized(),
 	}
+}
+
+// ComputeStats exposes the detector's f32-vs-int8 dispatch counters for
+// the serve gateway's /metricsz.
+func (y *YOLO) ComputeStats() ComputeStats {
+	f32, quant := y.model.InferCounts()
+	return ComputeStats{F32Infers: f32, QuantizedInfers: quant}
 }
 
 // Classify detects objects in every frame with one batched forward pass

@@ -59,7 +59,32 @@ func (c Config) validate() error {
 type Model struct {
 	cfg Config
 	net *nn.Sequential
+
+	// quantized routes PredictBatch through the int8 inference path
+	// (weights prepared by SetQuantized; refreshed after Train).
+	quantized bool
 }
+
+// SetQuantized switches inference between the f32 and int8 paths.
+// Enabling quantizes the current weights, so call it after training or
+// loading — never concurrently with inference. Train refreshes the
+// quantized weights automatically when the mode is on.
+func (m *Model) SetQuantized(enable bool) error {
+	if enable {
+		if err := m.net.PrepareQuantized(); err != nil {
+			return fmt.Errorf("classify: prepare quantized: %w", err)
+		}
+	}
+	m.quantized = enable
+	return nil
+}
+
+// Quantized reports whether inference runs on the int8 path.
+func (m *Model) Quantized() bool { return m.quantized }
+
+// InferCounts exposes the network's f32-vs-quantized dispatch counters
+// for serving metrics.
+func (m *Model) InferCounts() (f32, quantized uint64) { return m.net.InferCounts() }
 
 // New builds a randomly initialized classifier.
 func New(cfg Config) (*Model, error) {
@@ -221,6 +246,13 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 			cfg.Progress(epoch, epochLoss/float64(batches))
 		}
 	}
+	if m.quantized {
+		// Keep the int8 weight copies in sync with the freshly trained
+		// f32 weights.
+		if err := m.net.PrepareQuantized(); err != nil {
+			return fmt.Errorf("classify: refresh quantized weights: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -286,7 +318,12 @@ func (m *Model) PredictBatch(images []*render.Image) ([][scene.NumIndicators]flo
 	if err != nil {
 		return nil, err
 	}
-	logits, err := m.net.Infer(x)
+	var logits *tensor.Tensor
+	if m.quantized {
+		logits, err = m.net.InferQuantized(x)
+	} else {
+		logits, err = m.net.Infer(x)
+	}
 	if err != nil {
 		tensor.PutScratch(x)
 		return nil, fmt.Errorf("classify: forward: %w", err)

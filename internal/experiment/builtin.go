@@ -27,6 +27,9 @@ type BuiltinConfig struct {
 	// TrainEpochs is the training budget for the supervised specs
 	// (yolo, cnn); zero defaults to the paper's 20.
 	TrainEpochs int
+	// Quantized switches the supervised specs (yolo, cnn) to int8
+	// inference after training (see docs/QUANTIZATION.md).
+	Quantized bool
 }
 
 // modelSpec declares one model backend: in-process simulation, or
@@ -256,10 +259,13 @@ func Builtin(name string, cfg BuiltinConfig) (Spec, error) {
 	}
 	spec := build(cfg)
 	spec.Dataset = DatasetSpec{Coordinates: cfg.Coordinates, Seed: cfg.Seed}
-	if cfg.TrainEpochs > 0 {
+	if cfg.TrainEpochs > 0 || cfg.Quantized {
 		for name, b := range spec.Backends {
 			if b.Kind == "yolo" || b.Kind == "cnn" {
-				b.Epochs = cfg.TrainEpochs
+				if cfg.TrainEpochs > 0 {
+					b.Epochs = cfg.TrainEpochs
+				}
+				b.Quantized = b.Quantized || cfg.Quantized
 				spec.Backends[name] = b
 			}
 		}

@@ -1,0 +1,115 @@
+package experiment_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"nbhd/internal/experiment"
+	"nbhd/internal/metrics"
+	"nbhd/internal/scene"
+	"nbhd/internal/tensor"
+)
+
+// quantEnvelope is the documented accuracy envelope for the int8
+// inference path (docs/QUANTIZATION.md): the maximum absolute drift an
+// int8 run may show against the f32 run of the same spec and seed, per
+// class and per report field. Symmetric per-tensor weight quantization
+// plus per-batch activation scales keeps layer outputs within a few
+// quantization steps of f32, so only examples already sitting on a
+// decision boundary can flip; at evaluation scale that bounds per-class
+// rate drift to a few points. Exceeding these bounds means the
+// quantization scheme regressed (scale, rounding, or kernel bug), and
+// the build fails.
+const (
+	quantAccuracyEps  = 0.06 // per-class accuracy
+	quantPRF1Eps      = 0.12 // precision / recall / F1 (ratio metrics move more per flip)
+	quantMacroAccEps  = 0.04 // macro-average accuracy
+	quantMacroPRF1Eps = 0.08 // macro-average precision / recall / F1
+)
+
+// runPresence evaluates one supervised builtin spec (yolo or cnn) and
+// returns its presence-sweep report.
+func runPresence(t *testing.T, kind string, quant bool) *metrics.ClassReport {
+	t.Helper()
+	spec, err := experiment.Builtin(kind, experiment.BuiltinConfig{
+		Coordinates: 10,
+		Seed:        9,
+		TrainEpochs: 3,
+		Quantized:   quant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatalf("%s quantized=%v: %v", kind, quant, err)
+	}
+	rep := res.Sweep("presence").Report(kind)
+	if rep == nil {
+		t.Fatalf("%s quantized=%v: no presence report", kind, quant)
+	}
+	return rep
+}
+
+// QuantDriftTable computes the per-class and macro-average drift between
+// an f32 report and its int8 twin — the epsilon table the envelope test
+// checks and the benchmark artifact records.
+func quantDriftTable(f32, int8 *metrics.ClassReport) (perClass [scene.NumIndicators][4]float64, macro [4]float64) {
+	for i := 0; i < scene.NumIndicators; i++ {
+		cf, cq := f32.PerClass[i], int8.PerClass[i]
+		perClass[i] = [4]float64{
+			math.Abs(cf.Precision() - cq.Precision()),
+			math.Abs(cf.Recall() - cq.Recall()),
+			math.Abs(cf.F1() - cq.F1()),
+			math.Abs(cf.Accuracy() - cq.Accuracy()),
+		}
+	}
+	fp, fr, ff, fa := f32.Averages()
+	qp, qr, qf, qa := int8.Averages()
+	macro = [4]float64{math.Abs(fp - qp), math.Abs(fr - qr), math.Abs(ff - qf), math.Abs(fa - qa)}
+	return perClass, macro
+}
+
+// TestQuantizedAccuracyEnvelope is the int8 accuracy gate: the same
+// supervised spec (identical corpus, seed, and training run) evaluated
+// once on the f32 path and once on the int8 path must produce reports
+// inside the documented drift envelope, per class and per field. This
+// is the experiment-level complement to nn's output-tolerance test —
+// it fails the build if quantization starts costing real accuracy.
+func TestQuantizedAccuracyEnvelope(t *testing.T) {
+	for _, kind := range []string{"cnn", "yolo"} {
+		t.Run(kind, func(t *testing.T) {
+			f32 := runPresence(t, kind, false)
+			before := tensor.Stats().QuantizedGEMMCalls
+			int8 := runPresence(t, kind, true)
+			// Zero drift is a legal outcome at smoke scale, so the gate
+			// must separately prove the int8 kernels actually ran — a
+			// silently dropped Quantized flag would otherwise pass.
+			if tensor.Stats().QuantizedGEMMCalls == before {
+				t.Fatal("quantized run dispatched no int8 GEMMs — Quantized flag not wired through")
+			}
+			perClass, macro := quantDriftTable(f32, int8)
+			fields := [4]string{"precision", "recall", "f1", "accuracy"}
+			eps := [4]float64{quantPRF1Eps, quantPRF1Eps, quantPRF1Eps, quantAccuracyEps}
+			for i, ind := range scene.Indicators() {
+				for fi, name := range fields {
+					if d := perClass[i][fi]; d > eps[fi] {
+						t.Errorf("%s %s drifts %.4f between f32 and int8 (envelope %.2f)", ind, name, d, eps[fi])
+					}
+				}
+			}
+			macroEps := [4]float64{quantMacroPRF1Eps, quantMacroPRF1Eps, quantMacroPRF1Eps, quantMacroAccEps}
+			for fi, name := range fields {
+				if d := macro[fi]; d > macroEps[fi] {
+					t.Errorf("macro %s drifts %.4f between f32 and int8 (envelope %.2f)", name, d, macroEps[fi])
+				}
+			}
+			if t.Failed() {
+				for i, ind := range scene.Indicators() {
+					t.Logf("%-18s drift p=%.4f r=%.4f f1=%.4f acc=%.4f", ind, perClass[i][0], perClass[i][1], perClass[i][2], perClass[i][3])
+				}
+			}
+		})
+	}
+}

@@ -27,6 +27,10 @@ type Conv2D struct {
 	weight *Param // (OutChannels, InChannels*K*K)
 	bias   *Param // (OutChannels)
 
+	// qw holds the int8 weight copy for the quantized inference path
+	// (empty until PrepareQuantized).
+	qw quantWeights
+
 	// Training cache: the batched im2col matrix (released to the scratch
 	// pool in Backward) and the dims Backward needs. No reference to the
 	// input batch is retained.
@@ -154,38 +158,50 @@ func (c *Conv2D) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 // row. Every element is written (padding positions get explicit zeros),
 // so the destination may be dirty scratch. Samples fan across workers.
 func (c *Conv2D) im2colBatch(x, col *tensor.Tensor, d convDims) {
-	k := c.KernelSize
+	im2colInto(x.Data, col.Data, c.InChannels, c.KernelSize, c.Stride, c.Pad, d)
+}
+
+// im2colInto is the element-type-generic im2col core shared by the f32
+// training/inference path and the int8 quantized path (where unrolling
+// the already-quantized batch moves 4x less memory than f32 would).
+func im2colInto[T int8 | float32](xData, colData []T, inC, k, stride, pad int, d convDims) {
 	oHW := d.outH * d.outW
 	total := d.n * oHW
 	chStride := d.h * d.w
-	parallelSamples(d.n, len(col.Data), func(s0, s1 int) {
+	parallelSamples(d.n, len(colData), func(s0, s1 int) {
 		for s := s0; s < s1; s++ {
-			base := s * c.InChannels * chStride
+			base := s * inC * chStride
 			row := 0
-			for ci := 0; ci < c.InChannels; ci++ {
+			for ci := 0; ci < inC; ci++ {
 				for ky := 0; ky < k; ky++ {
 					for kx := 0; kx < k; kx++ {
-						dst := col.Data[row*total+s*oHW : row*total+(s+1)*oHW]
+						dst := colData[row*total+s*oHW : row*total+(s+1)*oHW]
+						// The valid ox range for this kernel column is the
+						// same on every row, so the edge handling hoists out
+						// of the inner loop: zero the out-of-image margins,
+						// then move the interior as one copy (stride 1) or a
+						// branch-free strided gather.
+						oxLo, oxHi := validRange(d.outW, d.w, stride, pad, kx)
 						idx := 0
 						for oy := 0; oy < d.outH; oy++ {
-							iy := oy*c.Stride - c.Pad + ky
+							iy := oy*stride - pad + ky
 							if iy < 0 || iy >= d.h {
-								for ox := 0; ox < d.outW; ox++ {
-									dst[idx] = 0
-									idx++
-								}
+								clearRow(dst[idx : idx+d.outW])
+								idx += d.outW
 								continue
 							}
 							srcRow := base + ci*chStride + iy*d.w
-							for ox := 0; ox < d.outW; ox++ {
-								ix := ox*c.Stride - c.Pad + kx
-								if ix >= 0 && ix < d.w {
-									dst[idx] = x.Data[srcRow+ix]
-								} else {
-									dst[idx] = 0
+							clearRow(dst[idx : idx+oxLo])
+							if stride == 1 {
+								lo := srcRow + oxLo - pad + kx
+								copy(dst[idx+oxLo:idx+oxHi], xData[lo:lo+oxHi-oxLo])
+							} else {
+								for ox := oxLo; ox < oxHi; ox++ {
+									dst[idx+ox] = xData[srcRow+ox*stride-pad+kx]
 								}
-								idx++
 							}
+							clearRow(dst[idx+oxHi : idx+d.outW])
+							idx += d.outW
 						}
 						row++
 					}
@@ -193,6 +209,35 @@ func (c *Conv2D) im2colBatch(x, col *tensor.Tensor, d convDims) {
 			}
 		}
 	})
+}
+
+// validRange returns the half-open [lo, hi) range of output columns whose
+// sampled input column ox*stride - pad + kx lands inside [0, w).
+func validRange(outW, w, stride, pad, kx int) (lo, hi int) {
+	lo = 0
+	if over := pad - kx; over > 0 {
+		lo = (over + stride - 1) / stride
+	}
+	hi = outW
+	if num := w - 1 - kx + pad; num < 0 {
+		hi = 0
+	} else if maxOx := num / stride; maxOx+1 < hi {
+		hi = maxOx + 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	if lo > outW {
+		lo, hi = outW, outW
+	}
+	return lo, hi
+}
+
+// clearRow zeroes a slice (compiles to memclr).
+func clearRow[T int8 | float32](s []T) {
+	for i := range s {
+		s[i] = 0
+	}
 }
 
 // scatterOutput relayouts the GEMM result (OutC, N*outH*outW) into NCHW
@@ -306,6 +351,7 @@ func (c *Conv2D) col2imBatch(dcol, gradIn *tensor.Tensor, d convDims) {
 				for ky := 0; ky < k; ky++ {
 					for kx := 0; kx < k; kx++ {
 						src := dcol.Data[row*total+s*oHW : row*total+(s+1)*oHW]
+						oxLo, oxHi := validRange(d.outW, d.w, c.Stride, c.Pad, kx)
 						idx := 0
 						for oy := 0; oy < d.outH; oy++ {
 							iy := oy*c.Stride - c.Pad + ky
@@ -314,13 +360,17 @@ func (c *Conv2D) col2imBatch(dcol, gradIn *tensor.Tensor, d convDims) {
 								continue
 							}
 							dstRow := base + ci*chStride + iy*d.w
-							for ox := 0; ox < d.outW; ox++ {
-								ix := ox*c.Stride - c.Pad + kx
-								if ix >= 0 && ix < d.w {
-									gradIn.Data[dstRow+ix] += src[idx]
+							if c.Stride == 1 {
+								off := dstRow - c.Pad + kx
+								for ox := oxLo; ox < oxHi; ox++ {
+									gradIn.Data[off+ox] += src[idx+ox]
 								}
-								idx++
+							} else {
+								for ox := oxLo; ox < oxHi; ox++ {
+									gradIn.Data[dstRow+ox*c.Stride-c.Pad+kx] += src[idx+ox]
+								}
 							}
+							idx += d.outW
 						}
 						row++
 					}

@@ -101,11 +101,39 @@ func (p *MaxPool2D) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
 	h, w := x.Shape[2], x.Shape[3]
 	out := tensor.GetScratch(n, c, outH, outW)
 	perSample := c * outH * outW
+	fast2x2 := p.Size == 2 && p.Stride == 2
 	parallelSamples(n, len(x.Data), func(s0, s1 int) {
 		for s := s0; s < s1; s++ {
 			oi := s * perSample
 			for ci := 0; ci < c; ci++ {
 				chBase := (s*c + ci) * h * w
+				if fast2x2 {
+					// The ubiquitous 2x2/stride-2 case: compare the two rows
+					// of each window directly, skipping the window loops and
+					// the index arithmetic (identical results for non-NaN
+					// inputs; seeding from the first element instead of -Inf
+					// only differs when that element is NaN).
+					for oy := 0; oy < outH; oy++ {
+						top := x.Data[chBase+2*oy*w : chBase+2*oy*w+2*outW]
+						bot := x.Data[chBase+(2*oy+1)*w : chBase+(2*oy+1)*w+2*outW]
+						orow := out.Data[oi : oi+outW]
+						for ox := range orow {
+							best := top[2*ox]
+							if v := top[2*ox+1]; v > best {
+								best = v
+							}
+							if v := bot[2*ox]; v > best {
+								best = v
+							}
+							if v := bot[2*ox+1]; v > best {
+								best = v
+							}
+							orow[ox] = best
+						}
+						oi += outW
+					}
+					continue
+				}
 				for oy := 0; oy < outH; oy++ {
 					for ox := 0; ox < outW; ox++ {
 						best := float32(math.Inf(-1))
@@ -212,6 +240,10 @@ type Linear struct {
 	In, Out int
 	weight  *Param // (In, Out)
 	bias    *Param // (Out)
+
+	// qw holds the int8 weight copy for the quantized inference path
+	// (empty until PrepareQuantized).
+	qw quantWeights
 
 	// Training cache: a 2-D view (shared backing array, no copy) of the
 	// forward input, cleared in Backward.

@@ -18,6 +18,7 @@ package nn
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nbhd/internal/tensor"
 )
@@ -79,6 +80,11 @@ type Sequential struct {
 	// params caches the flattened parameter list (layers are fixed after
 	// construction), keeping Params() allocation-free in training loops.
 	params []*Param
+
+	// Dispatch counters: full-network inference passes per compute path,
+	// surfaced per backend by the serving layer's /metricsz.
+	f32Infers   atomic.Uint64
+	quantInfers atomic.Uint64
 }
 
 // NewSequential builds a sequential network.
@@ -137,6 +143,7 @@ func (s *Sequential) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 // returned output is a scratch tensor the caller may hand back via
 // tensor.PutScratch when done.
 func (s *Sequential) Infer(x *tensor.Tensor) (*tensor.Tensor, error) {
+	s.f32Infers.Add(1)
 	cur := x
 	for i, l := range s.Layers {
 		y, err := l.Infer(cur)

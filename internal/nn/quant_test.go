@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nbhd/internal/tensor"
+)
+
+// TestInferQuantizedCloseToF32 pins the quantized path's accuracy at the
+// network level: outputs must track the f32 path within an envelope
+// derived from the quantization scales. This is a sanity bound; the
+// classification-level drift gate lives in the experiment package.
+func TestInferQuantizedCloseToF32(t *testing.T) {
+	net := testNet(t)
+	if err := net.PrepareQuantized(); err != nil {
+		t.Fatalf("PrepareQuantized: %v", err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 3; trial++ {
+		x := tensor.MustNew(2+trial, 2, 10, 10)
+		x.UniformInit(1, rng)
+		want, err := net.Infer(x)
+		if err != nil {
+			t.Fatalf("Infer: %v", err)
+		}
+		wantData := append([]float32(nil), want.Data...)
+		tensor.PutScratch(want)
+		got, err := net.InferQuantized(x)
+		if err != nil {
+			t.Fatalf("InferQuantized: %v", err)
+		}
+		if len(got.Data) != len(wantData) {
+			t.Fatalf("quantized output %d elems, f32 %d", len(got.Data), len(wantData))
+		}
+		// Scale of the final linear output dominates; with unit-uniform
+		// inputs and He-initialized weights an absolute tolerance of 0.15
+		// is ~40 quantization steps of headroom while still catching any
+		// scale or transpose bug (those produce O(1) errors).
+		var maxDiff float64
+		for i := range wantData {
+			if d := math.Abs(float64(got.Data[i] - wantData[i])); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		tensor.PutScratch(got)
+		if maxDiff > 0.15 {
+			t.Fatalf("trial %d: quantized output drifts %.4f from f32", trial, maxDiff)
+		}
+		if maxDiff == 0 {
+			t.Fatalf("trial %d: quantized output exactly equals f32 — quantized path not engaged", trial)
+		}
+	}
+}
+
+// TestInferQuantizedRequiresPrepare: calling the quantized path before
+// PrepareQuantized must fail loudly, not fall back silently.
+func TestInferQuantizedRequiresPrepare(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	conv, err := NewConv2D(1, 2, 3, 1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewSequential(conv)
+	x := tensor.MustNew(1, 1, 6, 6)
+	x.UniformInit(1, rng)
+	if _, err := net.InferQuantized(x); err == nil {
+		t.Fatal("InferQuantized before PrepareQuantized did not error")
+	}
+}
+
+// TestPrepareQuantizedRefreshesWeights: weights changed after a prepare
+// must not leak stale quantized copies once re-prepared.
+func TestPrepareQuantizedRefreshesWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	lin, err := NewLinear(4, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewSequential(lin)
+	if err := net.PrepareQuantized(); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustNew(2, 4)
+	x.UniformInit(1, rng)
+	before, err := net.InferQuantized(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeData := append([]float32(nil), before.Data...)
+	tensor.PutScratch(before)
+
+	for i := range lin.weight.Value.Data {
+		lin.weight.Value.Data[i] *= 2
+	}
+	if err := net.PrepareQuantized(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := net.InferQuantized(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tensor.PutScratch(after)
+	same := true
+	for i := range beforeData {
+		if after.Data[i] != beforeData[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("doubling weights then re-preparing left quantized outputs unchanged")
+	}
+}
+
+// TestInferQuantizedConcurrent is the quantized twin of
+// TestInferConcurrent: once prepared, the int8 path must be reentrant
+// (run under -race).
+func TestInferQuantizedConcurrent(t *testing.T) {
+	net := testNet(t)
+	if err := net.PrepareQuantized(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	x := tensor.MustNew(2, 2, 10, 10)
+	x.UniformInit(1, rng)
+	want, err := net.InferQuantized(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantData := append([]float32(nil), want.Data...)
+	tensor.PutScratch(want)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				got, err := net.InferQuantized(x)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range wantData {
+					if got.Data[i] != wantData[i] {
+						t.Errorf("concurrent InferQuantized diverged at %d", i)
+						return
+					}
+				}
+				tensor.PutScratch(got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestInferCountsDispatch verifies the f32-vs-quantized dispatch
+// counters the serving layer exports.
+func TestInferCountsDispatch(t *testing.T) {
+	net := testNet(t)
+	if err := net.PrepareQuantized(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(45))
+	x := tensor.MustNew(1, 2, 10, 10)
+	x.UniformInit(1, rng)
+	f0, q0 := net.InferCounts()
+	for i := 0; i < 3; i++ {
+		out, err := net.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensor.PutScratch(out)
+	}
+	for i := 0; i < 2; i++ {
+		out, err := net.InferQuantized(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensor.PutScratch(out)
+	}
+	f1, q1 := net.InferCounts()
+	if f1-f0 != 3 || q1-q0 != 2 {
+		t.Fatalf("counts advanced f32 %d quant %d, want 3 and 2", f1-f0, q1-q0)
+	}
+}

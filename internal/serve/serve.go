@@ -47,6 +47,7 @@ import (
 	"nbhd/internal/prompt"
 	"nbhd/internal/render"
 	"nbhd/internal/scene"
+	"nbhd/internal/tensor"
 )
 
 // Config is the gateway's JSON-loadable configuration. The zero value of
@@ -591,7 +592,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 		snap.CacheEntries, snap.CacheCapacity = s.results.size()
 	}
 	for name, rt := range s.routes {
-		snap.Routes[name] = rt.met.snapshot(len(rt.admit), cap(rt.admit))
+		rm := rt.met.snapshot(len(rt.admit), cap(rt.admit))
+		rm.Quantized = rt.caps.Quantized
+		if cs, ok := backend.StatsOf(rt.b); ok {
+			rm.Compute = &cs
+		}
+		snap.Routes[name] = rm
 	}
+	snap.Compute = tensor.Stats()
 	return snap
 }

@@ -4,6 +4,11 @@ package serve
 // llmserve.ErrorResponse so one client-side decoder handles both
 // services.
 
+import (
+	"nbhd/internal/backend"
+	"nbhd/internal/tensor"
+)
+
 // FrameRef addresses the frame to classify; exactly one addressing mode
 // must be set.
 type FrameRef struct {
@@ -158,6 +163,10 @@ type MetricsSnapshot struct {
 	CacheCapacity int `json:"cache_capacity"`
 	// Routes holds per-backend counters.
 	Routes map[string]RouteMetrics `json:"routes"`
+	// Compute holds the process-wide tensor kernel counters: GEMM calls
+	// by numeric path and packed-panel scratch reuse (cache hits) vs
+	// fresh allocations.
+	Compute tensor.ComputeStats `json:"compute"`
 }
 
 // RouteMetrics are one route's counters.
@@ -186,6 +195,11 @@ type RouteMetrics struct {
 	DedupHits int64 `json:"dedup_hits"`
 	// Latency summarizes served-request wall time.
 	Latency LatencySummary `json:"latency_ms"`
+	// Quantized reports the backend runs int8 inference.
+	Quantized bool `json:"quantized,omitempty"`
+	// Compute holds the backend's model-level f32-vs-int8 dispatch
+	// counters; nil for backends without an in-process model.
+	Compute *backend.ComputeStats `json:"compute,omitempty"`
 }
 
 // LatencySummary holds quantiles over the most recent served requests

@@ -85,6 +85,11 @@ func MatMulInto(dst, a, b *Tensor) error {
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		return fmt.Errorf("tensor: MatMul dst shape %v, want [%d %d]", dst.Shape, m, n)
 	}
+	statGEMMCalls.Add(1)
+	if usePacked(m, n, k) {
+		matMulPacked(dst, a, b, m, n, k, false, false)
+		return nil
+	}
 	parallelRows(m, m*n*k, func(r0, r1 int) {
 		seg := dst.Data[r0*n : r1*n]
 		for i := range seg {
@@ -156,6 +161,11 @@ func MatMulTransAInto(dst, a, b *Tensor) error {
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		return fmt.Errorf("tensor: MatMulTransA dst shape %v, want [%d %d]", dst.Shape, m, n)
 	}
+	statGEMMCalls.Add(1)
+	if usePacked(m, n, k) {
+		matMulPacked(dst, a, b, m, n, k, true, false)
+		return nil
+	}
 	parallelRows(m, m*n*k, func(r0, r1 int) {
 		seg := dst.Data[r0*n : r1*n]
 		for i := range seg {
@@ -219,6 +229,11 @@ func MatMulTransBInto(dst, a, b *Tensor) error {
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		return fmt.Errorf("tensor: MatMulTransB dst shape %v, want [%d %d]", dst.Shape, m, n)
 	}
+	statGEMMCalls.Add(1)
+	if usePacked(m, n, k) {
+		matMulPacked(dst, a, b, m, n, k, false, true)
+		return nil
+	}
 	parallelRows(m, m*n*k, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			ai := a.Data[i*k : (i+1)*k]
@@ -274,6 +289,7 @@ func MatMulTransBFoldInto(dst, a, b *Tensor, segLen int) error {
 	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		return fmt.Errorf("tensor: MatMulTransBFold dst shape %v, want [%d %d]", dst.Shape, m, n)
 	}
+	statGEMMCalls.Add(1)
 	parallelRows(m, m*n*k, func(r0, r1 int) {
 		for i := r0; i < r1; i++ {
 			ai := a.Data[i*k : (i+1)*k]

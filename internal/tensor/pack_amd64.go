@@ -1,0 +1,18 @@
+//go:build amd64
+
+package tensor
+
+// microKernel4x4SSE is the assembly microkernel in pack_amd64.s. It
+// performs, per k step and per output element, exactly one single-
+// precision multiply and one add in ascending k order — MULPS/ADDPS,
+// never fused FMA — so its results are bit-identical to
+// microKernel4x4Go; the SIMD lanes only change which elements advance
+// together, not any element's op sequence. SSE2 is in the amd64
+// baseline, so no runtime feature check is needed.
+//
+//go:noescape
+func microKernel4x4SSE(c *float32, ldc int, ap, bp *float32, kc int)
+
+func microKernel4x4(c []float32, ldc int, ap, bp []float32, kc int) {
+	microKernel4x4SSE(&c[0], ldc, &ap[0], &bp[0], kc)
+}

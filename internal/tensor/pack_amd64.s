@@ -1,0 +1,70 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func microKernel4x4SSE(c *float32, ldc int, ap, bp *float32, kc int)
+//
+// 4x4 packed GEMM microkernel. X0-X3 hold the four C rows (4 floats
+// each) for the whole K block; each k step loads one packed B row,
+// broadcasts each packed A value, and does MULPS+ADDPS per row.
+// Deliberately no FMA: fused multiply-add rounds once instead of
+// twice, which would break bit-identity with the scalar reference.
+TEXT ·microKernel4x4SSE(SB), NOSPLIT, $0-40
+	MOVQ c+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kc+32(FP), CX
+	SHLQ $2, SI          // row stride in bytes
+
+	// Load the four C rows into accumulators.
+	MOVQ   DI, DX
+	MOVUPS (DX), X0
+	ADDQ   SI, DX
+	MOVUPS (DX), X1
+	ADDQ   SI, DX
+	MOVUPS (DX), X2
+	ADDQ   SI, DX
+	MOVUPS (DX), X3
+
+	TESTQ CX, CX
+	JE    store
+
+loop:
+	MOVUPS (BX), X4      // packed B row: b[p][0..3]
+
+	MOVSS  (AX), X5      // a[0][p]
+	SHUFPS $0, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+
+	MOVSS  4(AX), X6     // a[1][p]
+	SHUFPS $0, X6, X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+
+	MOVSS  8(AX), X7     // a[2][p]
+	SHUFPS $0, X7, X7
+	MULPS  X4, X7
+	ADDPS  X7, X2
+
+	MOVSS  12(AX), X8    // a[3][p]
+	SHUFPS $0, X8, X8
+	MULPS  X4, X8
+	ADDPS  X8, X3
+
+	ADDQ $16, AX
+	ADDQ $16, BX
+	DECQ CX
+	JNE  loop
+
+store:
+	MOVQ   DI, DX
+	MOVUPS X0, (DX)
+	ADDQ   SI, DX
+	MOVUPS X1, (DX)
+	ADDQ   SI, DX
+	MOVUPS X2, (DX)
+	ADDQ   SI, DX
+	MOVUPS X3, (DX)
+	RET

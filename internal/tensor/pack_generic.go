@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+func microKernel4x4(c []float32, ldc int, ap, bp []float32, kc int) {
+	microKernel4x4Go(c, ldc, ap, bp, kc)
+}

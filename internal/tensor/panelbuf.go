@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Panel buffers for the packed GEMM. These are raw []float32 scratch —
+// not Tensors — keyed by capacity bucket, separate from the f32 tensor
+// Pool so GEMM packing never competes with layer activations for the
+// same buckets. getPanel counts pool reuses ("packed-panel cache hits"
+// in /metricsz terms): in steady state every large GEMM should hit.
+
+var panelBuckets sync.Map // int (capacity) -> *sync.Pool
+
+type panelBox struct{ buf []float32 }
+
+// getPanel returns a float32 scratch buffer with at least n elements.
+// Contents are undefined; pack routines overwrite every slot they read.
+func getPanel(n int) *panelBox {
+	// Round capacities to 4K-element buckets so nearby blockings share.
+	bcap := roundUp(n, 4096)
+	p, ok := panelBuckets.Load(bcap)
+	if !ok {
+		p, _ = panelBuckets.LoadOrStore(bcap, &sync.Pool{})
+	}
+	if box, ok := p.(*sync.Pool).Get().(*panelBox); ok {
+		statPanelReuses.Add(1)
+		return box
+	}
+	statPanelPacks.Add(1)
+	return &panelBox{buf: make([]float32, bcap)}
+}
+
+func putPanel(b *panelBox) {
+	p, ok := panelBuckets.Load(len(b.buf))
+	if !ok {
+		p, _ = panelBuckets.LoadOrStore(len(b.buf), &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(b)
+}
+
+// Compute counters: process-wide atomics the serving layer snapshots for
+// /metricsz. Cheap enough to leave always-on (one atomic add per GEMM /
+// panel acquisition, not per element).
+var (
+	statGEMMCalls   atomic.Uint64
+	statQGEMMCalls  atomic.Uint64
+	statPanelReuses atomic.Uint64
+	statPanelPacks  atomic.Uint64
+)
+
+// ComputeStats is a snapshot of the tensor package's compute counters.
+type ComputeStats struct {
+	// GEMMCalls counts f32 GEMM kernel invocations (all variants).
+	GEMMCalls uint64 `json:"gemm_calls"`
+	// QuantizedGEMMCalls counts int8 GEMM kernel invocations.
+	QuantizedGEMMCalls uint64 `json:"quantized_gemm_calls"`
+	// PanelReuses counts packed-panel buffers served from the panel
+	// pool (cache hits); PanelAllocs counts fresh allocations.
+	PanelReuses uint64 `json:"panel_reuses"`
+	PanelAllocs uint64 `json:"panel_allocs"`
+}
+
+// Stats snapshots the process-wide compute counters.
+func Stats() ComputeStats {
+	return ComputeStats{
+		GEMMCalls:          statGEMMCalls.Load(),
+		QuantizedGEMMCalls: statQGEMMCalls.Load(),
+		PanelReuses:        statPanelReuses.Load(),
+		PanelAllocs:        statPanelPacks.Load(),
+	}
+}

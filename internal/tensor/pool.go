@@ -72,3 +72,69 @@ func GetScratch(shape ...int) *Tensor { return scratch.Get(shape...) }
 // PutScratch returns a tensor to the shared scratch pool. The tensor
 // must not be used afterward.
 func PutScratch(t *Tensor) { scratch.Put(t) }
+
+// SlicePool is the typed-slice sibling of Pool for the quantized path:
+// int8 activations, int16 packed panels, and int32 accumulators each get
+// their own bucket space, so quantized scratch never aliases (or evicts)
+// the float32 tensor buckets. Same contract as Pool: Get returns
+// UNDEFINED contents sized at least n (sliced to exactly n), Put recycles.
+type SlicePool[T int8 | int16 | int32] struct {
+	buckets sync.Map // rounded capacity -> *sync.Pool of *sliceBox[T]
+}
+
+type sliceBox[T int8 | int16 | int32] struct{ buf []T }
+
+func (p *SlicePool[T]) bucket(n int) *sync.Pool {
+	if v, ok := p.buckets.Load(n); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := p.buckets.LoadOrStore(n, &sync.Pool{})
+	return v.(*sync.Pool)
+}
+
+// Get returns a slice of length n with undefined contents. Capacities
+// round up to 1K-element buckets so close sizes share buffers.
+func (p *SlicePool[T]) Get(n int) []T {
+	if n < 0 {
+		panic("tensor: slice pool Get with negative size")
+	}
+	bcap := roundUp(n, 1024)
+	if v := p.bucket(bcap).Get(); v != nil {
+		return v.(*sliceBox[T]).buf[:n]
+	}
+	return make([]T, bcap)[:n]
+}
+
+// Put returns a slice obtained from Get to the pool. The slice must not
+// be used afterward. Put(nil) is a no-op.
+func (p *SlicePool[T]) Put(s []T) {
+	if cap(s) == 0 {
+		return
+	}
+	p.bucket(cap(s)).Put(&sliceBox[T]{buf: s[:cap(s)]})
+}
+
+// Package-level typed scratch pools for the quantized inference path.
+var (
+	scratchI8  SlicePool[int8]
+	scratchI16 SlicePool[int16]
+	scratchI32 SlicePool[int32]
+)
+
+// GetScratchI8 returns pooled int8 scratch of length n (undefined contents).
+func GetScratchI8(n int) []int8 { return scratchI8.Get(n) }
+
+// PutScratchI8 recycles int8 scratch obtained from GetScratchI8.
+func PutScratchI8(s []int8) { scratchI8.Put(s) }
+
+// GetScratchI16 returns pooled int16 scratch of length n (undefined contents).
+func GetScratchI16(n int) []int16 { return scratchI16.Get(n) }
+
+// PutScratchI16 recycles int16 scratch obtained from GetScratchI16.
+func PutScratchI16(s []int16) { scratchI16.Put(s) }
+
+// GetScratchI32 returns pooled int32 scratch of length n (undefined contents).
+func GetScratchI32(n int) []int32 { return scratchI32.Get(n) }
+
+// PutScratchI32 recycles int32 scratch obtained from GetScratchI32.
+func PutScratchI32(s []int32) { scratchI32.Put(s) }

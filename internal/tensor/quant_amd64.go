@@ -1,0 +1,17 @@
+//go:build amd64
+
+package tensor
+
+// qMicroKernel4x4SSE is the assembly int8 microkernel in quant_amd64.s:
+// PMADDWD over the pair-interleaved int16 panels (two multiply-adds per
+// lane per instruction) with int32 accumulators, then CVTDQ2PS+MULPS for
+// the float32 store. Integer accumulation is exact, and the final
+// convert+multiply per element matches float32(acc)*scale in Go, so the
+// asm and Go kernels agree bit-for-bit (see TestQMicroKernelAsmMatchesGo).
+//
+//go:noescape
+func qMicroKernel4x4SSE(dst *float32, ldc int, ap, bp *int16, kp int, scale float32)
+
+func qMicroKernel4x4(dst []float32, ldc int, ap, bp []int16, kp int, scale float32) {
+	qMicroKernel4x4SSE(&dst[0], ldc, &ap[0], &bp[0], kp, scale)
+}

@@ -1,0 +1,75 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func qMicroKernel4x4SSE(dst *float32, ldc int, ap, bp *int16, kp int, scale float32)
+//
+// 4x4 int8 GEMM microkernel over pair-interleaved int16 panels. Each k
+// pair step loads 8 packed A values (4 rows x 2 k) and 8 packed B values
+// (4 cols x 2 k); PSHUFL broadcasts one row's pair across the vector and
+// PMADDWL multiplies and adds adjacent pairs into 4 int32 lanes — the
+// exact integer sums the portable kernel computes. The epilogue converts
+// to float32 and multiplies by the combined scale.
+TEXT ·qMicroKernel4x4SSE(SB), NOSPLIT, $0-44
+	MOVQ dst+0(FP), DI
+	MOVQ ldc+8(FP), SI
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ kp+32(FP), CX
+	SHLQ $2, SI          // row stride in bytes
+
+	PXOR X0, X0          // row accumulators
+	PXOR X1, X1
+	PXOR X2, X2
+	PXOR X3, X3
+
+	TESTQ CX, CX
+	JE    store
+
+loop:
+	MOVOU (AX), X4       // [a0p a0p' a1p a1p' a2p a2p' a3p a3p']
+	MOVOU (BX), X5       // [b(p,j0) b(p',j0) ... b(p,j3) b(p',j3)]
+
+	PSHUFL $0x00, X4, X6 // row 0 pair broadcast
+	PMADDWL X5, X6
+	PADDL  X6, X0
+
+	PSHUFL $0x55, X4, X7 // row 1
+	PMADDWL X5, X7
+	PADDL  X7, X1
+
+	PSHUFL $0xAA, X4, X6 // row 2
+	PMADDWL X5, X6
+	PADDL  X6, X2
+
+	PSHUFL $0xFF, X4, X7 // row 3
+	PMADDWL X5, X7
+	PADDL  X7, X3
+
+	ADDQ $16, AX
+	ADDQ $16, BX
+	DECQ CX
+	JNE  loop
+
+store:
+	MOVSS  scale+40(FP), X5
+	SHUFPS $0, X5, X5
+
+	CVTPL2PS X0, X0      // int32 -> float32, round to nearest
+	MULPS    X5, X0
+	CVTPL2PS X1, X1
+	MULPS    X5, X1
+	CVTPL2PS X2, X2
+	MULPS    X5, X2
+	CVTPL2PS X3, X3
+	MULPS    X5, X3
+
+	MOVQ   DI, DX
+	MOVUPS X0, (DX)
+	ADDQ   SI, DX
+	MOVUPS X1, (DX)
+	ADDQ   SI, DX
+	MOVUPS X2, (DX)
+	ADDQ   SI, DX
+	MOVUPS X3, (DX)
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+func qMicroKernel4x4(dst []float32, ldc int, ap, bp []int16, kp int, scale float32) {
+	qMicroKernel4x4Go(dst, ldc, ap, bp, kp, scale)
+}

@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"nbhd/internal/metrics"
 	"nbhd/internal/nn"
@@ -72,10 +72,35 @@ type Model struct {
 	grid int
 	net  *nn.Sequential
 
+	// quantized routes DetectBatch through the int8 inference path
+	// (weights prepared by SetQuantized; refreshed after Train).
+	quantized bool
+
 	// claimedArea is encodeTargets' per-cell claim scratch, reused across
 	// training steps.
 	claimedArea []float64
 }
+
+// SetQuantized switches inference between the f32 and int8 paths.
+// Enabling quantizes the current weights, so call it after training or
+// loading — never concurrently with inference. Train refreshes the
+// quantized weights automatically when the mode is on.
+func (m *Model) SetQuantized(enable bool) error {
+	if enable {
+		if err := m.net.PrepareQuantized(); err != nil {
+			return fmt.Errorf("yolo: prepare quantized: %w", err)
+		}
+	}
+	m.quantized = enable
+	return nil
+}
+
+// Quantized reports whether inference runs on the int8 path.
+func (m *Model) Quantized() bool { return m.quantized }
+
+// InferCounts exposes the network's f32-vs-quantized dispatch counters
+// for serving metrics.
+func (m *Model) InferCounts() (f32, quantized uint64) { return m.net.InferCounts() }
 
 // New builds a randomly initialized detector.
 func New(cfg Config) (*Model, error) {
@@ -181,7 +206,12 @@ func (m *Model) DetectBatch(imgs []*render.Image, scoreThresh, nmsIoU float64) (
 	if err != nil {
 		return nil, err
 	}
-	out, err := m.net.Infer(x)
+	var out *tensor.Tensor
+	if m.quantized {
+		out, err = m.net.InferQuantized(x)
+	} else {
+		out, err = m.net.Infer(x)
+	}
 	if err != nil {
 		tensor.PutScratch(x)
 		return nil, fmt.Errorf("yolo: forward: %w", err)
@@ -240,7 +270,18 @@ func sigmoid(v float32) float32 { return nn.Sigmoid32(v) }
 
 // nonMaxSuppress applies greedy per-class NMS.
 func nonMaxSuppress(dets []Detection, iouThresh float64) []Detection {
-	sort.SliceStable(dets, func(a, b int) bool { return dets[a].Score > dets[b].Score })
+	// Stable sort via the generic slices API — same ordering as the old
+	// sort.SliceStable but without its reflection-based swapper, which
+	// showed up in inference profiles.
+	slices.SortStableFunc(dets, func(a, b Detection) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		}
+		return 0
+	})
 	var kept []Detection
 	for _, d := range dets {
 		suppressed := false

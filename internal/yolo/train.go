@@ -314,6 +314,13 @@ func (m *Model) Train(examples []dataset.Example, cfg TrainConfig) error {
 			cfg.Progress(epoch, epochLoss/float64(batches))
 		}
 	}
+	if m.quantized {
+		// Keep the int8 weight copies in sync with the freshly trained
+		// f32 weights.
+		if err := m.net.PrepareQuantized(); err != nil {
+			return fmt.Errorf("yolo: refresh quantized weights: %w", err)
+		}
+	}
 	return nil
 }
 
