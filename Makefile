@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-store bench-quant run-experiment serve-smoke fmt fmt-check vet godoc-check check
+.PHONY: all build test race bench bench-smoke bench-store bench-quant run-experiment serve-smoke fleet-smoke fmt fmt-check vet godoc-check check
 
 all: build
 
@@ -67,6 +67,17 @@ serve-smoke:
 	$(GO) run ./cmd/nbhdserve -loadgen -coords 12 -cnn-epochs 2 \
 		-loadgen-requests 512 -loadgen-concurrency 64 -loadgen-frames 48 \
 		-bench-out BENCH_pr5.json
+
+# Boots the multi-replica fleet in-process (consistent-hash router +
+# supervisor, one floored vlm backend per replica) and replays the Zipf
+# sweep at 1, 2, and 4 replicas, then re-runs it on a 3-replica fleet
+# while killing one replica unannounced at the halfway mark. Writes
+# BENCH_pr8.json, the CI artifact proving (a) aggregate throughput
+# scales with replica count and (b) the kill replay completes with zero
+# dropped 200s and bit-identical failover answers — the run errors out
+# if either fails.
+fleet-smoke:
+	$(GO) run ./cmd/nbhdfleet -loadgen -bench-out BENCH_pr8.json
 
 fmt:
 	gofmt -w .

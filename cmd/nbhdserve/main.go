@@ -195,11 +195,17 @@ type benchReport struct {
 }
 
 func runLoadgen(ctx context.Context, p loadgenParams) error {
+	// One pooled client serves every pass: idle connections persist
+	// across requests (no per-pass TCP churn), and CloseIdleConnections
+	// between gateway variants resets the pool so no variant inherits
+	// another's warm connections.
+	client := serve.NewLoadgenClient(p.concurrency)
 	if p.target != "" {
 		// External target: single pass, client-side numbers only.
 		rep, err := serve.Loadgen(ctx, serve.LoadgenConfig{
 			BaseURL: p.target, Backend: "cnn",
 			Frames: p.frames, Requests: p.requests, Concurrency: p.concurrency, Skew: p.skew,
+			HTTPClient: client,
 		})
 		if err != nil {
 			return err
@@ -242,6 +248,9 @@ func runLoadgen(ctx context.Context, p loadgenParams) error {
 
 	pass := func(label string, cfg serve.Config) (benchPass, error) {
 		fmt.Printf("pass %q: %d requests, %d clients, %d frames\n", label, p.requests, p.concurrency, p.frames)
+		// Each variant starts from a cold connection pool but the same
+		// client, so passes differ only in the gateway under test.
+		client.CloseIdleConnections()
 		srv, err := serve.New(ctx, cfg, serve.Options{
 			Frames:   pipe.RenderCache(),
 			Backends: map[string]backend.Backend{"cnn": cnn},
@@ -260,6 +269,7 @@ func runLoadgen(ctx context.Context, p loadgenParams) error {
 		rep, err := serve.Loadgen(ctx, serve.LoadgenConfig{
 			BaseURL: "http://" + ln.Addr().String(), Backend: "cnn",
 			Frames: p.frames, Requests: p.requests, Concurrency: p.concurrency, Skew: p.skew,
+			HTTPClient: client,
 		})
 		if err != nil {
 			return benchPass{}, err

@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"nbhd/internal/backend"
+)
+
+// WithServiceFloor wraps a backend with a minimum per-Classify service
+// time, modeling a remote model server (a GPU pool, a hosted VLM API)
+// whose round-trip latency — not this host's CPU — bounds a replica's
+// dispatch throughput. The fleet loadgen runs its scaling passes on
+// floored backends because that is the regime sharding is for: each
+// gateway replica holds a bounded dispatch budget against its model
+// replica, so aggregate throughput grows with the replica count even
+// when every gateway shares one CPU (see docs/FLEET.md for the CPU
+// budget caveats). Answers pass through untouched, so the failover
+// bit-identity checks see the inner backend's deterministic output.
+func WithServiceFloor(b backend.Backend, floor time.Duration) backend.Backend {
+	if floor <= 0 {
+		return b
+	}
+	return &floorBackend{inner: b, floor: floor}
+}
+
+type floorBackend struct {
+	inner backend.Backend
+	floor time.Duration
+}
+
+func (f *floorBackend) Name() string { return f.inner.Name() }
+
+func (f *floorBackend) Capabilities() backend.Capabilities { return f.inner.Capabilities() }
+
+func (f *floorBackend) Classify(ctx context.Context, req backend.BatchRequest) (backend.BatchResult, error) {
+	start := time.Now()
+	res, err := f.inner.Classify(ctx, req)
+	if err != nil {
+		return res, err
+	}
+	if remaining := f.floor - time.Since(start); remaining > 0 {
+		select {
+		case <-ctx.Done():
+			return backend.BatchResult{}, ctx.Err()
+		case <-time.After(remaining):
+		}
+	}
+	return res, nil
+}

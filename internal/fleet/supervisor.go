@@ -1,0 +1,304 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpawnFunc builds replica idx (0-based) with its ring ID. The
+// supervisor calls it once per configured replica at Start; cmd
+// binaries supply an in-process or exec implementation.
+type SpawnFunc func(ctx context.Context, idx int, id string) (Replica, error)
+
+// replicaState tracks one managed replica's health trajectory.
+type replicaState struct {
+	replica Replica
+	fails   int // consecutive failed polls
+	inRing  bool
+	retired bool // drained on purpose; never re-admit
+}
+
+// Supervisor owns the fleet's replica lifecycle: it spawns the
+// configured replica count, waits for each one's first healthy
+// /healthz, admits them to the ring, and then keeps polling — a replica
+// that fails FailAfter consecutive polls leaves the ring (generation
+// bump, so the router's failover stops paying for it on every request)
+// and is re-admitted the moment it polls healthy again. DrainReplica
+// runs the deliberate retirement path: out of the ring first, SIGTERM
+// (or in-process Drain) second, so zero new requests race the drain.
+type Supervisor struct {
+	cfg   Config
+	spawn SpawnFunc
+	ring  *Ring
+
+	client *http.Client
+
+	mu          sync.Mutex
+	replicas    map[string]*replicaState
+	order       []string
+	pollStarted bool
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewSupervisor assembles a supervisor; call Start to spawn the fleet.
+func NewSupervisor(cfg Config, spawn SpawnFunc) *Supervisor {
+	cfg = cfg.withDefaults()
+	poll := time.Duration(cfg.HealthPollMS) * time.Millisecond
+	return &Supervisor{
+		cfg:   cfg,
+		spawn: spawn,
+		ring:  NewRing(cfg.VirtualNodes),
+		client: &http.Client{
+			Timeout: poll * 4,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 4,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		replicas: make(map[string]*replicaState),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+}
+
+// ReplicaID names replica idx on the ring: replica-0, replica-1, ...
+func ReplicaID(idx int) string { return fmt.Sprintf("replica-%d", idx) }
+
+// Start spawns every configured replica, waits until each answers
+// /healthz 200 (bounded by StartTimeoutMS), admits them all to the
+// ring, and launches the poll loop. On error the already-spawned
+// replicas are closed.
+func (s *Supervisor) Start(ctx context.Context) error {
+	for i := 0; i < s.cfg.Replicas; i++ {
+		id := ReplicaID(i)
+		rep, err := s.spawn(ctx, i, id)
+		if err != nil {
+			_ = s.Close()
+			return fmt.Errorf("fleet: spawn %s: %w", id, err)
+		}
+		s.mu.Lock()
+		s.replicas[id] = &replicaState{replica: rep}
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+	}
+	deadline := time.Now().Add(time.Duration(s.cfg.StartTimeoutMS) * time.Millisecond)
+	for _, id := range s.Replicas() {
+		if err := s.awaitHealthy(ctx, id, deadline); err != nil {
+			_ = s.Close()
+			return err
+		}
+		s.mu.Lock()
+		s.replicas[id].inRing = true
+		s.mu.Unlock()
+		s.ring.Add(id)
+	}
+	s.mu.Lock()
+	s.pollStarted = true
+	s.mu.Unlock()
+	go s.pollLoop()
+	return nil
+}
+
+// awaitHealthy polls one replica until it answers 200 or the fleet's
+// start deadline passes.
+func (s *Supervisor) awaitHealthy(ctx context.Context, id string, deadline time.Time) error {
+	url, _ := s.URLOf(id)
+	interval := time.Duration(s.cfg.HealthPollMS) * time.Millisecond
+	for {
+		if s.probe(ctx, url) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: replica %s not healthy within %dms", id, s.cfg.StartTimeoutMS)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// probe runs one /healthz check; any 200 means routable.
+func (s *Supervisor) probe(ctx context.Context, url string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false
+	}
+	_ = resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// pollLoop is the supervisor's health authority: consecutive failures
+// evict a replica from the ring; a healthy answer re-admits it (unless
+// it was deliberately retired).
+func (s *Supervisor) pollLoop() {
+	defer close(s.doneCh)
+	interval := time.Duration(s.cfg.HealthPollMS) * time.Millisecond
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	ctx := context.Background()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+		}
+		for _, id := range s.Replicas() {
+			s.mu.Lock()
+			st := s.replicas[id]
+			// A retired replica that already left the ring needs no
+			// probing; a retired one still IN the ring was killed
+			// unannounced, and probing it is how the loop notices and
+			// evicts the corpse.
+			skip := st == nil || (st.retired && !st.inRing)
+			var url string
+			if st != nil {
+				url = st.replica.URL()
+			}
+			s.mu.Unlock()
+			if skip {
+				continue
+			}
+			healthy := s.probe(ctx, url)
+			s.mu.Lock()
+			if healthy {
+				st.fails = 0
+				if !st.inRing && !st.retired {
+					st.inRing = true
+					s.mu.Unlock()
+					s.ring.Add(id)
+					continue
+				}
+			} else {
+				st.fails++
+				if st.inRing && st.fails >= s.cfg.FailAfter {
+					st.inRing = false
+					s.mu.Unlock()
+					s.ring.Remove(id)
+					continue
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Ring exposes the supervisor's hash ring (the router shares it).
+func (s *Supervisor) Ring() *Ring { return s.ring }
+
+// Router builds a router over this supervisor's ring and replica table.
+func (s *Supervisor) Router(opts RouterOptions) *Router {
+	return NewRouter(s.ring, s.URLOf, s.cfg, opts)
+}
+
+// Replicas lists managed replica IDs in spawn order (retired ones
+// included — they still appear in metrics history).
+func (s *Supervisor) Replicas() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.order...)
+}
+
+// URLOf resolves a replica ID to its HTTP root.
+func (s *Supervisor) URLOf(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.replicas[id]
+	if !ok {
+		return "", false
+	}
+	return st.replica.URL(), true
+}
+
+// DrainReplica retires one replica gracefully, in the order the fleet
+// contract requires: ring removal first (no new traffic can route
+// there), then the replica's own drain (admitted requests finish,
+// listener closes). The replica stays managed but never re-admits.
+func (s *Supervisor) DrainReplica(ctx context.Context, id string) error {
+	s.mu.Lock()
+	st, ok := s.replicas[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: unknown replica %q", id)
+	}
+	st.retired = true
+	st.inRing = false
+	s.mu.Unlock()
+	s.ring.Remove(id)
+	return st.replica.Drain(ctx)
+}
+
+// KillReplica stops a replica abruptly without touching the ring first
+// — the failure the router's per-request failover and the poll loop
+// exist to absorb. It still runs the replica's graceful drain (in-tree
+// replicas never drop admitted requests; "abrupt" here means the
+// control plane was not warned), so the PR 5 single-process guarantee
+// holds while the fleet reroutes around the loss.
+func (s *Supervisor) KillReplica(ctx context.Context, id string) error {
+	s.mu.Lock()
+	st, ok := s.replicas[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("fleet: unknown replica %q", id)
+	}
+	st.retired = true
+	s.mu.Unlock()
+	err := st.replica.Drain(ctx)
+	return errors.Join(err, st.replica.Close())
+}
+
+// Close stops the poll loop and closes every replica (draining each
+// with a short grace period). Idempotent.
+func (s *Supervisor) Close() error {
+	s.closeOnce.Do(func() {
+		s.stopOnce.Do(func() { close(s.stopCh) })
+		s.mu.Lock()
+		started := s.pollStarted
+		s.mu.Unlock()
+		if started {
+			select {
+			case <-s.doneCh:
+			case <-time.After(5 * time.Second):
+			}
+		}
+		s.mu.Lock()
+		ids := append([]string(nil), s.order...)
+		s.mu.Unlock()
+		sort.Strings(ids)
+		var errs []error
+		for _, id := range ids {
+			s.mu.Lock()
+			st := s.replicas[id]
+			s.mu.Unlock()
+			if st == nil {
+				continue
+			}
+			s.ring.Remove(id)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			_ = st.replica.Drain(ctx)
+			cancel()
+			if err := st.replica.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
+}

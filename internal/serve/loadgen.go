@@ -41,8 +41,37 @@ type LoadgenConfig struct {
 	// gateway's Retry-After exactly like llmclient honors llmserve's
 	// (zero defaults to 8).
 	MaxRetries int
-	// HTTPClient defaults to a client with a 60-second timeout.
+	// HTTPClient issues the replay's requests. Nil defaults to
+	// NewLoadgenClient(Concurrency). Callers running several passes
+	// against gateway variants should share one pooled client across
+	// all of them — and CloseIdleConnections between variants — so the
+	// comparison measures the gateway, not TCP connection churn.
 	HTTPClient *http.Client
+	// OnHalfway, when set, fires exactly once as the replay passes the
+	// midpoint of Requests — the hook the fleet bench uses to kill a
+	// replica mid-replay. It runs on a worker goroutine; slow work
+	// belongs in a goroutine of its own.
+	OnHalfway func()
+}
+
+// NewLoadgenClient builds the pooled HTTP client Loadgen uses by
+// default: enough idle connections for every concurrent worker to keep
+// its connection alive between requests. The stdlib default transport
+// keeps only two idle connections per host, so a high-concurrency
+// replay through it reconnects on nearly every request and benchmarks
+// the TCP stack instead of the gateway.
+func NewLoadgenClient(concurrency int) *http.Client {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * concurrency,
+			MaxIdleConnsPerHost: 2 * concurrency,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
 }
 
 // LoadgenReport is one run's client-side view: throughput and latency
@@ -65,6 +94,13 @@ type LoadgenReport struct {
 	CacheHits int64 `json:"cache_hits"`
 	// Shed503 counts 503 responses absorbed by the retry loop.
 	Shed503 int64 `json:"shed_503"`
+	// ReplicaCounts breaks successful responses down by the serving
+	// replica, read from the fleet router's X-Fleet-Replica header.
+	// Empty when the target is a single gateway.
+	ReplicaCounts map[string]int64 `json:"replica_counts,omitempty"`
+	// FailoverServed counts responses the router served from a ring
+	// successor after the owner failed (X-Fleet-Failover header).
+	FailoverServed int64 `json:"failover_served,omitempty"`
 }
 
 // Loadgen replays a classification sweep as concurrent client traffic
@@ -86,7 +122,7 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 	}
 	client := cfg.HTTPClient
 	if client == nil {
-		client = &http.Client{Timeout: 60 * time.Second}
+		client = NewLoadgenClient(cfg.Concurrency)
 	}
 
 	var (
@@ -95,6 +131,12 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 		cacheHits atomic.Int64
 		batchSum  atomic.Int64
 		batchN    atomic.Int64
+		failovers atomic.Int64
+
+		replicaMu     sync.Mutex
+		replicaCounts map[string]int64
+
+		halfway sync.Once
 
 		wg       sync.WaitGroup
 		errOnce  sync.Once
@@ -125,12 +167,15 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 				if i >= int64(cfg.Requests) || runCtx.Err() != nil {
 					return
 				}
+				if cfg.OnHalfway != nil && i >= int64(cfg.Requests)/2 {
+					halfway.Do(cfg.OnHalfway)
+				}
 				frame := int(i) % cfg.Frames
 				if zipf != nil {
 					frame = int(zipf.Uint64())
 				}
 				t0 := time.Now()
-				resp, err := classifyOnce(runCtx, client, cfg, frame, &shed)
+				resp, replica, failedOver, err := classifyOnce(runCtx, client, cfg, frame, &shed)
 				if err != nil {
 					fail(fmt.Errorf("serve: loadgen request %d: %w", i, err))
 					return
@@ -141,6 +186,17 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 				} else if resp.BatchSize > 0 {
 					batchSum.Add(int64(resp.BatchSize))
 					batchN.Add(1)
+				}
+				if failedOver {
+					failovers.Add(1)
+				}
+				if replica != "" {
+					replicaMu.Lock()
+					if replicaCounts == nil {
+						replicaCounts = make(map[string]int64)
+					}
+					replicaCounts[replica]++
+					replicaMu.Unlock()
 				}
 			}
 		}(w)
@@ -157,17 +213,19 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 	}
 	sort.Float64s(all)
 	rep := &LoadgenReport{
-		Backend:       cfg.Backend,
-		Requests:      cfg.Requests,
-		Concurrency:   cfg.Concurrency,
-		Frames:        cfg.Frames,
-		Skew:          cfg.Skew,
-		DurationMS:    float64(elapsed) / float64(time.Millisecond),
-		ThroughputRPS: float64(cfg.Requests) / elapsed.Seconds(),
-		LatencyP50MS:  quantile(all, 0.50),
-		LatencyP99MS:  quantile(all, 0.99),
-		CacheHits:     cacheHits.Load(),
-		Shed503:       shed.Load(),
+		Backend:        cfg.Backend,
+		Requests:       cfg.Requests,
+		Concurrency:    cfg.Concurrency,
+		Frames:         cfg.Frames,
+		Skew:           cfg.Skew,
+		DurationMS:     float64(elapsed) / float64(time.Millisecond),
+		ThroughputRPS:  float64(cfg.Requests) / elapsed.Seconds(),
+		LatencyP50MS:   quantile(all, 0.50),
+		LatencyP99MS:   quantile(all, 0.99),
+		CacheHits:      cacheHits.Load(),
+		Shed503:        shed.Load(),
+		ReplicaCounts:  replicaCounts,
+		FailoverServed: failovers.Load(),
 	}
 	if n := batchN.Load(); n > 0 {
 		rep.MeanBatch = float64(batchSum.Load()) / float64(n)
@@ -177,37 +235,41 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 
 // classifyOnce issues one coordinate-addressed classify request,
 // retrying 503 sheds with the server's Retry-After pacing (parsed by
-// the same llmclient helper that paces llmserve retries).
-func classifyOnce(ctx context.Context, client *http.Client, cfg LoadgenConfig, frame int, shed *atomic.Int64) (*ClassifyResponse, error) {
+// the same llmclient helper that paces llmserve retries). The returned
+// replica and failover flags come from the fleet router's X-Fleet-*
+// headers and are empty/false against a single gateway.
+func classifyOnce(ctx context.Context, client *http.Client, cfg LoadgenConfig, frame int, shed *atomic.Int64) (*ClassifyResponse, string, bool, error) {
 	payload, err := json.Marshal(ClassifyRequest{Backend: cfg.Backend, Frame: FrameRef{Index: &frame}})
 	if err != nil {
-		return nil, err
+		return nil, "", false, err
 	}
 	var lastStatus int
 	for attempt := 0; attempt <= cfg.MaxRetries; attempt++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/v1/classify", bytes.NewReader(payload))
 		if err != nil {
-			return nil, err
+			return nil, "", false, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := client.Do(req)
 		if err != nil {
-			return nil, err
+			return nil, "", false, err
 		}
 		if resp.StatusCode == http.StatusOK {
 			var out ClassifyResponse
 			err := json.NewDecoder(resp.Body).Decode(&out)
+			replica := resp.Header.Get("X-Fleet-Replica")
+			failedOver := resp.Header.Get("X-Fleet-Failover") != ""
 			_ = resp.Body.Close()
 			if err != nil {
-				return nil, fmt.Errorf("decode response: %w", err)
+				return nil, "", false, fmt.Errorf("decode response: %w", err)
 			}
-			return &out, nil
+			return &out, replica, failedOver, nil
 		}
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
 		retryAfter, hasRetryAfter := llmclient.ParseRetryAfter(resp.Header.Get("Retry-After"))
 		_ = resp.Body.Close()
 		if resp.StatusCode != http.StatusServiceUnavailable {
-			return nil, fmt.Errorf("server returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+			return nil, "", false, fmt.Errorf("server returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 		}
 		lastStatus = resp.StatusCode
 		shed.Add(1)
@@ -217,9 +279,9 @@ func classifyOnce(ctx context.Context, client *http.Client, cfg LoadgenConfig, f
 		}
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, "", false, ctx.Err()
 		case <-time.After(delay):
 		}
 	}
-	return nil, fmt.Errorf("retries exhausted after repeated %d responses", lastStatus)
+	return nil, "", false, fmt.Errorf("retries exhausted after repeated %d responses", lastStatus)
 }

@@ -366,7 +366,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("unknown backend %q (serving: %v)", req.Backend, s.names), reqID)
 		return
 	}
-	opts, herr := s.requestOptions(&req)
+	opts, herr := requestOptions(&req)
 	if herr != nil {
 		writeError(w, herr.status, herr.typ, herr.msg, reqID)
 		return
@@ -390,7 +390,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	defer func() { <-rt.admit }()
 
 	start := time.Now()
-	key := rt.name + "|" + optionsKey(opts) + "|" + frameKey
+	key := ShardKey(rt.name, rt.caps.Quantized, opts, frameKey)
 	if s.results != nil {
 		if ans, ok := s.results.get(key); ok {
 			rt.met.cacheHit()
@@ -438,8 +438,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 }
 
 // requestOptions lowers the wire request to backend options, normalizing
-// defaults so semantically identical requests share a coalescer key.
-func (s *Server) requestOptions(req *ClassifyRequest) (backend.Options, *httpError) {
+// defaults so semantically identical requests share a coalescer key. It
+// is deliberately free of server state: the fleet router runs the same
+// canonicalization through RequestShardKey.
+func requestOptions(req *ClassifyRequest) (backend.Options, *httpError) {
 	var opts backend.Options
 	if len(req.Indicators) == 0 {
 		inds := scene.Indicators()

@@ -1,0 +1,148 @@
+package serve_test
+
+import (
+	"strings"
+	"testing"
+
+	"nbhd/internal/backend"
+	"nbhd/internal/scene"
+	"nbhd/internal/serve"
+)
+
+func intp(i int) *int         { return &i }
+func f64p(f float64) *float64 { return &f }
+
+// TestShardKeyQuantizedBit: the int8 path has no bit-identity contract
+// with f32, so flipping only the quantized flag must change the key —
+// a quantized route and its float twin can never alias a cache entry.
+func TestShardKeyQuantizedBit(t *testing.T) {
+	inds := scene.Indicators()
+	opts := backend.Options{Indicators: inds[:]}
+	f32 := serve.ShardKey("cnn", false, opts, "idx:3")
+	q8 := serve.ShardKey("cnn", true, opts, "idx:3")
+	if f32 == q8 {
+		t.Fatalf("quantized flag did not change the key: %q", f32)
+	}
+	if !strings.Contains(f32, "|f32|") || !strings.Contains(q8, "|q8|") {
+		t.Fatalf("numeric path not visible in keys: %q / %q", f32, q8)
+	}
+	if f32 != serve.ShardKey("cnn", false, opts, "idx:3") {
+		t.Fatal("ShardKey is not deterministic")
+	}
+}
+
+// TestRequestShardKeyPartitions: requests that the gateway would cache
+// separately must shard separately, and identical requests must shard
+// identically — the invariant that makes shard affinity cache affinity.
+func TestRequestShardKeyPartitions(t *testing.T) {
+	base := func() *serve.ClassifyRequest {
+		return &serve.ClassifyRequest{Backend: "cnn", Frame: serve.FrameRef{Index: intp(5)}}
+	}
+	k0, err := serve.RequestShardKey(base(), false)
+	if err != nil {
+		t.Fatalf("RequestShardKey: %v", err)
+	}
+	if k1, _ := serve.RequestShardKey(base(), false); k1 != k0 {
+		t.Fatalf("identical requests got different keys: %q vs %q", k0, k1)
+	}
+
+	distinct := map[string]*serve.ClassifyRequest{
+		"other backend":  {Backend: "vlm", Frame: serve.FrameRef{Index: intp(5)}},
+		"other frame":    {Backend: "cnn", Frame: serve.FrameRef{Index: intp(6)}},
+		"fewer classes":  {Backend: "cnn", Frame: serve.FrameRef{Index: intp(5)}, Indicators: []string{"SL"}},
+		"other language": {Backend: "cnn", Frame: serve.FrameRef{Index: intp(5)}, Language: "Spanish"},
+		"a nonce":        {Backend: "cnn", Frame: serve.FrameRef{Index: intp(5)}, Nonce: 42},
+		"a temperature":  {Backend: "cnn", Frame: serve.FrameRef{Index: intp(5)}, Temperature: 0.7},
+	}
+	for what, req := range distinct {
+		k, err := serve.RequestShardKey(req, false)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if k == k0 {
+			t.Errorf("%s collides with the base key %q", what, k0)
+		}
+	}
+	if k, _ := serve.RequestShardKey(base(), true); k == k0 {
+		t.Error("quantized route collides with its f32 twin")
+	}
+
+	// Indicator abbreviations and full names canonicalize to one key.
+	abbr := &serve.ClassifyRequest{Backend: "cnn", Frame: serve.FrameRef{Index: intp(5)},
+		Indicators: []string{"SL", "SW"}}
+	full := &serve.ClassifyRequest{Backend: "cnn", Frame: serve.FrameRef{Index: intp(5)},
+		Indicators: []string{"streetlight", "sidewalk"}}
+	ka, err := serve.RequestShardKey(abbr, false)
+	if err != nil {
+		t.Fatalf("abbr: %v", err)
+	}
+	kf, err := serve.RequestShardKey(full, false)
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	if ka != kf {
+		t.Errorf("abbreviated and full indicator names shard apart: %q vs %q", ka, kf)
+	}
+}
+
+// TestRequestShardKeyUploads: uploaded payloads key by content hash —
+// equal payloads collide (cache reuse), different payloads split.
+func TestRequestShardKeyUploads(t *testing.T) {
+	up := func(payload string) *serve.ClassifyRequest {
+		return &serve.ClassifyRequest{Backend: "cnn",
+			Frame: serve.FrameRef{ImageF32Base64: payload, Width: 2, Height: 2}}
+	}
+	a1, err := serve.RequestShardKey(up("AAAA"), false)
+	if err != nil {
+		t.Fatalf("upload key: %v", err)
+	}
+	a2, _ := serve.RequestShardKey(up("AAAA"), false)
+	b, _ := serve.RequestShardKey(up("BBBB"), false)
+	if a1 != a2 {
+		t.Fatal("equal uploads got different shard keys")
+	}
+	if a1 == b {
+		t.Fatal("different uploads collided")
+	}
+	if strings.Contains(a1, "AAAA") {
+		t.Fatal("shard key embeds the raw payload; it must hash it")
+	}
+
+	// Ambiguous frame refs fail loudly rather than sharding arbitrarily.
+	bad := &serve.ClassifyRequest{Backend: "cnn",
+		Frame: serve.FrameRef{Index: intp(1), ImagePNGBase64: "xyz"}}
+	if _, err := serve.RequestShardKey(bad, false); err == nil {
+		t.Fatal("ambiguous frame ref accepted")
+	}
+	if _, err := serve.RequestShardKey(&serve.ClassifyRequest{Backend: "cnn"}, false); err == nil {
+		t.Fatal("empty frame ref accepted")
+	}
+}
+
+// TestNeighborhoodShardKey: same center+radius+options → same replica;
+// moving the center or radius moves the key.
+func TestNeighborhoodShardKey(t *testing.T) {
+	base := func() *serve.NeighborhoodRequest {
+		return &serve.NeighborhoodRequest{Backend: "cnn", Lat: f64p(33.75), Lng: f64p(-84.39), RadiusFeet: 1500}
+	}
+	k0, err := serve.NeighborhoodShardKey(base(), false)
+	if err != nil {
+		t.Fatalf("NeighborhoodShardKey: %v", err)
+	}
+	if k1, _ := serve.NeighborhoodShardKey(base(), false); k1 != k0 {
+		t.Fatal("identical neighborhood queries shard apart")
+	}
+	moved := base()
+	moved.Lat = f64p(33.76)
+	if k, _ := serve.NeighborhoodShardKey(moved, false); k == k0 {
+		t.Fatal("moved center collides")
+	}
+	wider := base()
+	wider.RadiusFeet = 3000
+	if k, _ := serve.NeighborhoodShardKey(wider, false); k == k0 {
+		t.Fatal("changed radius collides")
+	}
+	if _, err := serve.NeighborhoodShardKey(&serve.NeighborhoodRequest{Backend: "cnn"}, false); err == nil {
+		t.Fatal("missing center accepted")
+	}
+}

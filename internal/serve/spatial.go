@@ -143,7 +143,7 @@ func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid_request_error", fmt.Sprintf("radius_feet must be positive, got %v", req.RadiusFeet), reqID)
 		return
 	}
-	opts, herr := s.requestOptions(&ClassifyRequest{
+	opts, herr := requestOptions(&ClassifyRequest{
 		Indicators:  req.Indicators,
 		Language:    req.Language,
 		Mode:        req.Mode,
@@ -283,7 +283,7 @@ func (s *Server) classifyFrameCached(ctx context.Context, rt *route, idx, size i
 		return nil, err
 	}
 	fk := fmt.Sprintf("idx:%d@%d", idx, size)
-	key := rt.name + "|" + optionsKey(opts) + "|" + fk
+	key := ShardKey(rt.name, rt.caps.Quantized, opts, fk)
 	if s.results != nil {
 		if ans, ok := s.results.get(key); ok {
 			rt.met.cacheHit()
