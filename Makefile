@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-store bench-quant run-experiment serve-smoke fleet-smoke fmt fmt-check vet godoc-check check
+.PHONY: all build test race bench bench-smoke bench-store bench-quant run-experiment serve-smoke fleet-smoke lab-smoke fmt fmt-check vet godoc-check check
 
 all: build
 
@@ -78,6 +78,16 @@ serve-smoke:
 # if either fails.
 fleet-smoke:
 	$(GO) run ./cmd/nbhdfleet -loadgen -bench-out BENCH_pr8.json
+
+# Runs the lab daemon's self-test in a fresh workspace: a baseline run
+# of the builtin smoke spec, a repeat run asserted byte-identical
+# against the promoted baseline, and a third run killed between two
+# journal appends then resumed after reopening the workspace — the
+# resumed run must restore journaled cells, re-run only the missing
+# ones, and still diff byte-identical. Writes BENCH_pr9.json, the CI
+# artifact recording both guarantees; the target fails if either does.
+lab-smoke:
+	$(GO) run ./cmd/nbhdlab -smoke -coords 12 -bench-out BENCH_pr9.json
 
 fmt:
 	gofmt -w .

@@ -105,6 +105,20 @@ func run() error {
 		return err
 	}
 
+	// Open the artifact store before the run: if another writer (a lab
+	// daemon, another llmeval) owns the directory this fails fast
+	// instead of after minutes of evaluation, and the deferred Close
+	// releases the LOCK even when Ctrl-C cancels the run — so a lab
+	// workspace pointed at the same directory can reopen immediately.
+	var store *experiment.Store
+	if *runDir != "" {
+		store, err = experiment.NewStore(*runDir)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = store.Close() }()
+	}
+
 	var sink experiment.Sink
 	if *verbose {
 		sink = func(ev experiment.Event) {
@@ -122,11 +136,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *runDir != "" {
-		store, err := experiment.NewStore(*runDir)
-		if err != nil {
-			return err
-		}
+	if store != nil {
 		dir, err := store.Save("", res)
 		if err != nil {
 			return err

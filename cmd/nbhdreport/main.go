@@ -54,15 +54,24 @@ func run() error {
 	// tract grid before handing it to the runner.
 	spec.Analyses[0].TractFeet = *tractFeet
 
+	// Open the artifact store before the run so a locked directory
+	// fails fast and the deferred Close releases the LOCK even when
+	// Ctrl-C cancels mid-analysis — a lab workspace pointed at the same
+	// directory can reopen immediately.
+	var store *experiment.Store
+	if *runDir != "" {
+		store, err = experiment.NewStore(*runDir)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = store.Close() }()
+	}
+
 	runRes, err := experiment.NewRunner(experiment.RunnerConfig{Workers: *workers}).Run(ctx, spec, nil)
 	if err != nil {
 		return err
 	}
-	if *runDir != "" {
-		store, err := experiment.NewStore(*runDir)
-		if err != nil {
-			return err
-		}
+	if store != nil {
 		dir, err := store.Save("", runRes)
 		if err != nil {
 			return err

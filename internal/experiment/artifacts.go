@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"nbhd/internal/backend"
+	"nbhd/internal/lockfile"
 	"nbhd/internal/metrics"
 	"nbhd/internal/scene"
 )
@@ -21,11 +23,22 @@ const ArtifactSchemaVersion = 1
 // plus a deterministic report JSON file per sweep and per analysis, so
 // runs can be diffed (byte-for-byte on the report files) and tracked in
 // CI.
+//
+// A Store is a writer: NewStore takes an exclusive advisory LOCK in the
+// root (the shared flock helper the frame store and the lab workspace
+// use), so two processes cannot interleave Saves into one directory.
+// Release it with Close — long-running consumers (the lab daemon) fail
+// fast on a still-locked run directory instead of corrupting it.
+// Reading a run's files needs no Store at all: run directories are
+// plain files, enumerated by Runs/ListRunArtifacts and compared by
+// DiffRuns.
 type Store struct {
 	root string
+	lock *lockfile.Lock
 }
 
-// NewStore opens (creating if needed) an artifact store rooted at dir.
+// NewStore opens (creating if needed) an artifact store rooted at dir
+// and takes its writer lock.
 func NewStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("experiment: artifact store needs a directory")
@@ -33,7 +46,45 @@ func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
-	return &Store{root: dir}, nil
+	lock, err := lockfile.Acquire(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		return nil, fmt.Errorf("experiment: artifact store %s is in use by another writer: %w", dir, err)
+	}
+	return &Store{root: dir, lock: lock}, nil
+}
+
+// Close releases the store's writer lock. It is idempotent; previously
+// saved artifacts remain readable.
+func (s *Store) Close() error {
+	lock := s.lock
+	s.lock = nil
+	return lock.Release()
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// RunDir returns the directory Save uses for the run name (which may
+// not exist yet).
+func (s *Store) RunDir(runName string) string {
+	return filepath.Join(s.root, runDirName(runName))
+}
+
+// Runs lists the saved run directory names (the "run-*" base names),
+// sorted.
+func (s *Store) Runs() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	var runs []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "run-") {
+			runs = append(runs, e.Name())
+		}
+	}
+	sort.Strings(runs)
+	return runs, nil
 }
 
 // Manifest indexes one run's artifacts.
@@ -177,6 +228,11 @@ func artifactFileName(prefix, name string) string {
 	return prefix + "-" + mapped + ".json"
 }
 
+// runDirName sanitizes a run name into its directory name.
+func runDirName(runName string) string {
+	return strings.TrimSuffix(artifactFileName("run", runName), ".json")
+}
+
 // Save writes the run's artifacts into root/<run name> (creating or
 // overwriting it) and returns the run directory: manifest.json plus one
 // report file per sweep and analysis. Report files exclude timing, so
@@ -185,7 +241,7 @@ func (s *Store) Save(runName string, res *Result) (string, error) {
 	if runName == "" {
 		runName = res.Spec.Name
 	}
-	dir := filepath.Join(s.root, strings.TrimSuffix(artifactFileName("run", runName), ".json"))
+	dir := filepath.Join(s.root, runDirName(runName))
 	// Replace, don't layer: a stale report file from an earlier save of
 	// a differently-shaped run must not survive next to the new
 	// manifest, or directory diffs show phantom sweeps.

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"nbhd/internal/core"
+	"nbhd/internal/metrics"
+)
+
+// Cell identifiers.
+//
+// A run decomposes into cells — the units of completed work a
+// checkpointing consumer (internal/lab's journal) records and a resumed
+// run skips. There is one cell per (sweep, backend) report and one per
+// analysis step, identified by a stable string the runner stamps on its
+// events:
+//
+//	sweep:<sweep name>/<backend name>   one backend's report in a sweep
+//	                                    (vote sweeps use the sweep's own
+//	                                    name as the backend name)
+//	analysis:<analysis name>            one analysis step's result
+//
+// The format is part of the public API: lab journals persist these IDs
+// across daemon restarts, so changing it invalidates on-disk journals.
+// Spec validation already rejects duplicate sweep and analysis names,
+// and backend names are unique within a sweep, so cell IDs are unique
+// within a run.
+
+// SweepCellID names one (sweep, backend) cell.
+func SweepCellID(sweep, backendName string) string {
+	return "sweep:" + sweep + "/" + backendName
+}
+
+// AnalysisCellID names one analysis cell.
+func AnalysisCellID(name string) string {
+	return "analysis:" + name
+}
+
+// CellReport is one completed sweep cell's payload: the report plus, for
+// vote cells, the committee in rank order.
+type CellReport struct {
+	// Members lists a vote cell's committee in rank order; nil for
+	// regular cells.
+	Members []string
+	// Report is the cell's confusion report. The confusion counts alone
+	// determine the artifact bytes, so a report round-tripped through
+	// JSON reproduces them exactly.
+	Report *metrics.ClassReport
+}
+
+// Checkpoint carries a prior interrupted run's completed cells into a
+// resumed run. The runner skips every cell present here — emitting its
+// ReportReady / AnalysisFinished event with Restored set instead of
+// re-evaluating — and executes only the missing ones, so a run killed
+// mid-sweep finishes by paying only for the remainder. Because reports
+// are plain confusion counts and evaluation is deterministic in
+// (spec, seed), the merged result is bit-identical to an uninterrupted
+// run's: the final artifacts byte-match (see TestResumeBitIdentical).
+//
+// A checkpoint must come from the same spec (and therefore seed) it
+// resumes; consumers enforce that (internal/lab hashes the spec into
+// its journal header). Nil maps are fine; a nil *Checkpoint disables
+// resume entirely.
+type Checkpoint struct {
+	// Reports maps sweep cell IDs to their completed payloads.
+	Reports map[string]CellReport
+	// Analyses maps analysis cell IDs to their completed results.
+	Analyses map[string]*core.NeighborhoodResult
+}
+
+// report returns the checkpointed sweep cell, if present.
+func (c *Checkpoint) report(cell string) (CellReport, bool) {
+	if c == nil {
+		return CellReport{}, false
+	}
+	r, ok := c.Reports[cell]
+	if !ok || r.Report == nil {
+		return CellReport{}, false
+	}
+	return r, true
+}
+
+// analysis returns the checkpointed analysis cell, if present.
+func (c *Checkpoint) analysis(cell string) (*core.NeighborhoodResult, bool) {
+	if c == nil {
+		return nil, false
+	}
+	a, ok := c.Analyses[cell]
+	if !ok || a == nil {
+		return nil, false
+	}
+	return a, true
+}

@@ -1,0 +1,371 @@
+// Checkpoint-resume and run-diff tests, black-box like the rest of the
+// suite: the checkpoint here is built exactly the way internal/lab's
+// journal builds one — from the runner's own event stream, round-tripped
+// through JSON — so these tests pin the full persistence path, not just
+// the in-memory splice.
+package experiment_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nbhd/internal/core"
+	"nbhd/internal/experiment"
+)
+
+// roundTrip simulates journal persistence: marshal, then unmarshal into
+// a fresh value. Resume bit-identity depends on this being lossless.
+func roundTrip[T any](t *testing.T, v T) T {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out T
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkpointFromEvents collects completed cells from an event stream
+// into a Checkpoint, JSON round-tripping every payload.
+func checkpointFromEvents(t *testing.T, events []experiment.Event) *experiment.Checkpoint {
+	t.Helper()
+	cp := &experiment.Checkpoint{
+		Reports:  map[string]experiment.CellReport{},
+		Analyses: map[string]*core.NeighborhoodResult{},
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case experiment.ReportReady:
+			rep := roundTrip(t, *ev.Report)
+			cp.Reports[ev.Cell] = experiment.CellReport{Members: ev.Members, Report: &rep}
+		case experiment.AnalysisFinished:
+			res := roundTrip(t, *ev.Analysis)
+			cp.Analyses[ev.Cell] = &res
+		}
+	}
+	return cp
+}
+
+// saveRun executes nothing — it just persists an already-computed
+// result and returns its run directory.
+func saveRun(t *testing.T, res *experiment.Result) string {
+	t.Helper()
+	store, err := experiment.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	dir, err := store.Save("", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCellIDsAreStable pins the documented cell ID format — lab
+// journals persist these strings across daemon restarts.
+func TestCellIDsAreStable(t *testing.T) {
+	if got := experiment.SweepCellID("models", "chatgpt"); got != "sweep:models/chatgpt" {
+		t.Errorf("SweepCellID = %q", got)
+	}
+	if got := experiment.AnalysisCellID("tracts"); got != "analysis:tracts" {
+		t.Errorf("AnalysisCellID = %q", got)
+	}
+	var cells []string
+	_, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), demoSpec(), func(ev experiment.Event) {
+		if ev.Kind == experiment.ReportReady || ev.Kind == experiment.AnalysisFinished {
+			cells = append(cells, ev.Cell)
+			if ev.Restored {
+				t.Errorf("cell %s marked restored on a fresh run", ev.Cell)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"sweep:models/chatgpt", "sweep:models/gemini", "sweep:vote/vote", "analysis:tracts"}
+	if len(cells) != len(want) {
+		t.Fatalf("cells %q, want %q", cells, want)
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Errorf("cell[%d] = %q, want %q", i, cells[i], want[i])
+		}
+	}
+}
+
+// TestResumeBitIdentical is the end-to-end resume proof: a run canceled
+// mid-way, resumed from a JSON round-tripped checkpoint of its
+// completed cells, executes only the missing cells and produces
+// byte-identical final artifacts.
+func TestResumeBitIdentical(t *testing.T) {
+	spec := demoSpec()
+
+	full, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt after the first sweep's reports land, like a SIGKILL
+	// between cells.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var journal []experiment.Event
+	_, err = experiment.NewRunner(experiment.RunnerConfig{}).Run(ctx, spec, func(ev experiment.Event) {
+		if ev.Kind == experiment.ReportReady || ev.Kind == experiment.AnalysisFinished {
+			journal = append(journal, ev)
+		}
+		if ev.Kind == experiment.SweepFinished && ev.Step == "models" {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if len(journal) != 2 {
+		t.Fatalf("interrupted run journaled %d cells, want 2 (models sweep only)", len(journal))
+	}
+
+	cp := checkpointFromEvents(t, journal)
+	var restored, executed []string
+	resumed, err := experiment.NewRunner(experiment.RunnerConfig{Checkpoint: cp}).Run(context.Background(), spec, func(ev experiment.Event) {
+		if ev.Kind != experiment.ReportReady && ev.Kind != experiment.AnalysisFinished {
+			return
+		}
+		if ev.Restored {
+			restored = append(restored, ev.Cell)
+		} else {
+			executed = append(executed, ev.Cell)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the missing cells ran.
+	wantRestored := []string{"sweep:models/chatgpt", "sweep:models/gemini"}
+	wantExecuted := []string{"sweep:vote/vote", "analysis:tracts"}
+	if len(restored) != len(wantRestored) || restored[0] != wantRestored[0] || restored[1] != wantRestored[1] {
+		t.Errorf("restored cells %q, want %q", restored, wantRestored)
+	}
+	if len(executed) != len(wantExecuted) || executed[0] != wantExecuted[0] || executed[1] != wantExecuted[1] {
+		t.Errorf("executed cells %q, want %q", executed, wantExecuted)
+	}
+
+	// The final artifacts byte-match an uninterrupted run's.
+	diff, err := experiment.DiffRuns(saveRun(t, full), saveRun(t, resumed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Identical {
+		t.Errorf("resumed run artifacts differ from uninterrupted run: %+v", diff.Files)
+	}
+}
+
+// TestResumePartialSweep restores one backend of a two-backend sweep
+// and checks the other still evaluates — the subset path through the
+// evaluation engine, which must splice reports back in spec order.
+func TestResumePartialSweep(t *testing.T) {
+	spec := demoSpec()
+	spec.Analyses = nil
+
+	full, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chatgpt := full.Sweep("models").Report("chatgpt")
+	rep := roundTrip(t, *chatgpt)
+	cp := &experiment.Checkpoint{Reports: map[string]experiment.CellReport{
+		"sweep:models/chatgpt": {Report: &rep},
+	}}
+
+	flags := map[string]bool{}
+	resumed, err := experiment.NewRunner(experiment.RunnerConfig{Checkpoint: cp}).Run(context.Background(), spec, func(ev experiment.Event) {
+		if ev.Kind == experiment.ReportReady {
+			flags[ev.Cell] = ev.Restored
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flags["sweep:models/chatgpt"] || flags["sweep:models/gemini"] || flags["sweep:vote/vote"] {
+		t.Errorf("restored flags wrong: %v", flags)
+	}
+	diff, err := experiment.DiffRuns(saveRun(t, full), saveRun(t, resumed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Identical {
+		t.Errorf("partial-sweep resume drifted: %+v", diff.Files)
+	}
+}
+
+// TestDiffRuns covers the verdict ladder: identical runs, bounded drift
+// under an epsilon envelope, real drift, and missing files.
+func TestDiffRuns(t *testing.T) {
+	spec := demoSpec()
+	spec.Analyses = nil
+	res, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aDir := saveRun(t, res)
+	bDir := saveRun(t, res)
+
+	diff, err := experiment.DiffRuns(aDir, bDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Identical || !diff.Clean {
+		t.Fatalf("same result saved twice is not identical: %+v", diff.Files)
+	}
+
+	// Nudge one confusion cell: bytes differ, metrics drift a little.
+	drifted := *res
+	drifted.Sweeps = append([]experiment.SweepResult(nil), res.Sweeps...)
+	reports := append([]experiment.BackendReport(nil), drifted.Sweeps[0].Reports...)
+	rep := roundTrip(t, *reports[0].Report)
+	if rep.PerClass[0].TN == 0 {
+		t.Fatal("test premise broken: first cell has no TN to move")
+	}
+	rep.PerClass[0].TN--
+	rep.PerClass[0].FP++
+	reports[0] = experiment.BackendReport{Backend: reports[0].Backend, Report: &rep}
+	drifted.Sweeps[0] = experiment.SweepResult{Name: res.Sweeps[0].Name, Reports: reports}
+	cDir := saveRun(t, &drifted)
+
+	diff, err = experiment.DiffRuns(aDir, cDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Identical || diff.Clean {
+		t.Error("strict diff missed a drifted confusion cell")
+	}
+	status := map[string]string{}
+	for _, f := range diff.Files {
+		status[f.File] = f.Status
+	}
+	if status["sweep-models.json"] != experiment.FileDiffers {
+		t.Errorf("sweep-models.json status %q, want differs", status["sweep-models.json"])
+	}
+	if status["manifest.json"] != experiment.FileIdentical {
+		t.Errorf("manifest.json status %q; summaries are derived data, scrubbed before compare", status["manifest.json"])
+	}
+
+	// The same drift is accepted under a generous envelope…
+	eps := &experiment.Epsilon{Accuracy: 1, PRF1: 1, MacroAccuracy: 1, MacroPRF1: 1}
+	diff, err = experiment.DiffRunsEpsilon(aDir, cDir, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Identical {
+		t.Error("epsilon diff reported byte identity for differing bytes")
+	}
+	if !diff.Clean {
+		t.Errorf("one-count drift escaped a full-width envelope: %+v", diff.Files)
+	}
+	// …but not under a zero one.
+	diff, err = experiment.DiffRunsEpsilon(aDir, cDir, &experiment.Epsilon{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Clean {
+		t.Error("zero-tolerance envelope accepted metric drift")
+	}
+
+	// A file on one side only is never clean.
+	if err := os.Remove(filepath.Join(bDir, "sweep-vote.json")); err != nil {
+		t.Fatal(err)
+	}
+	diff, err = experiment.DiffRuns(aDir, bDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Clean {
+		t.Error("missing file went unnoticed")
+	}
+	found := false
+	for _, f := range diff.Files {
+		if f.File == "sweep-vote.json" && f.Status == experiment.FileOnlyInA {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sweep-vote.json not flagged only_in_a: %+v", diff.Files)
+	}
+}
+
+// TestStoreWriterLock pins the single-writer contract: a second
+// NewStore on a live store fails fast, and Close hands the directory
+// over.
+func TestStoreWriterLock(t *testing.T) {
+	dir := t.TempDir()
+	store, err := experiment.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := experiment.NewStore(dir); err == nil {
+		t.Fatal("second writer acquired a locked artifact store")
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := experiment.NewStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after Close failed: %v", err)
+	}
+	if err := store2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store2.Close(); err != nil {
+		t.Errorf("double Close errored: %v", err)
+	}
+}
+
+// TestStoreEnumeration covers Runs/RunDir/ListRunArtifacts — the
+// read-side surface lab and nbhdreport build on.
+func TestStoreEnumeration(t *testing.T) {
+	spec := demoSpec()
+	spec.Analyses = nil
+	res, err := experiment.NewRunner(experiment.RunnerConfig{}).Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := experiment.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if _, err := store.Save("beta", res); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Save("alpha", res); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := store.Runs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0] != "run-alpha" || runs[1] != "run-beta" {
+		t.Errorf("Runs() = %q, want sorted [run-alpha run-beta]", runs)
+	}
+	files, err := experiment.ListRunArtifacts(store.RunDir("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"manifest.json", "sweep-models.json", "sweep-vote.json"}
+	if len(files) != len(want) {
+		t.Fatalf("artifacts %q, want %q", files, want)
+	}
+	for i := range want {
+		if files[i] != want[i] {
+			t.Errorf("artifact[%d] = %q, want %q", i, files[i], want[i])
+		}
+	}
+}

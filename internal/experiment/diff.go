@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Run-directory diffing.
+//
+// PR 4's determinism contract — same spec and seed produce byte-identical
+// report files — makes regression detection a byte compare: DiffRuns
+// walks two run directories file by file and reports exactly which
+// artifacts drifted. The lab daemon (internal/lab) uses it to diff every
+// finished run against the job's accepted baseline; tests use it instead
+// of walking artifact directories by hand.
+
+// FileDiff statuses.
+const (
+	// FileIdentical: the file compares equal (byte-for-byte, except
+	// manifest.json, which is compared modulo timing and derived
+	// summaries — see DiffRuns).
+	FileIdentical = "identical"
+	// FileWithinEpsilon: the bytes differ but every metric delta is
+	// inside the caller's epsilon envelope.
+	FileWithinEpsilon = "within_epsilon"
+	// FileDiffers: the file differs beyond any allowed tolerance.
+	FileDiffers = "differs"
+	// FileOnlyInA / FileOnlyInB: the file exists on one side only.
+	FileOnlyInA = "only_in_a"
+	FileOnlyInB = "only_in_b"
+)
+
+// Epsilon is the per-metric tolerance escape hatch for backends without
+// a bit-exactness contract (the int8 quantized path): when set, a sweep
+// report file whose bytes differ is re-compared metric by metric and
+// accepted if every absolute delta is inside these bounds. The four
+// fields mirror the quantized accuracy envelope (docs/QUANTIZATION.md):
+// per-class accuracy, per-class precision/recall/F1, and their macro
+// averages. A zero field means zero tolerance for that metric. Epsilon
+// never applies to analysis files or the manifest.
+type Epsilon struct {
+	Accuracy      float64 `json:"accuracy,omitempty"`
+	PRF1          float64 `json:"prf1,omitempty"`
+	MacroAccuracy float64 `json:"macro_accuracy,omitempty"`
+	MacroPRF1     float64 `json:"macro_prf1,omitempty"`
+}
+
+// FileDiff is one artifact file's comparison.
+type FileDiff struct {
+	File   string `json:"file"`
+	Status string `json:"status"`
+}
+
+// RunDiff is the structured result of comparing two run directories.
+type RunDiff struct {
+	A     string     `json:"a"`
+	B     string     `json:"b"`
+	Files []FileDiff `json:"files"`
+	// Identical: every file compared FileIdentical.
+	Identical bool `json:"identical"`
+	// Clean: no missing files and nothing beyond FileWithinEpsilon —
+	// the "no drift" verdict under the caller's tolerance.
+	Clean bool `json:"clean"`
+}
+
+// ListRunArtifacts enumerates a run directory's artifact files (the
+// manifest plus per-step report JSON), sorted by name.
+func ListRunArtifacts(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if e.Type().IsRegular() && filepath.Ext(e.Name()) == ".json" {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// DiffRuns compares two run directories byte-for-byte: every report
+// file must match exactly; manifest.json is compared modulo run timing
+// and the derived inline summaries (both re-derivable from the report
+// files, which get their own verdicts). Use DiffRunsEpsilon to tolerate
+// bounded metric drift.
+func DiffRuns(aDir, bDir string) (*RunDiff, error) {
+	return DiffRunsEpsilon(aDir, bDir, nil)
+}
+
+// DiffRunsEpsilon is DiffRuns with a tolerance: sweep report files whose
+// bytes differ are re-compared metric by metric against eps (nil eps
+// means none — identical to DiffRuns).
+func DiffRunsEpsilon(aDir, bDir string, eps *Epsilon) (*RunDiff, error) {
+	aFiles, err := ListRunArtifacts(aDir)
+	if err != nil {
+		return nil, err
+	}
+	bFiles, err := ListRunArtifacts(bDir)
+	if err != nil {
+		return nil, err
+	}
+	union := make(map[string]int, len(aFiles)+len(bFiles))
+	for _, f := range aFiles {
+		union[f] |= 1
+	}
+	for _, f := range bFiles {
+		union[f] |= 2
+	}
+	names := make([]string, 0, len(union))
+	for f := range union {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+
+	d := &RunDiff{A: aDir, B: bDir, Identical: true, Clean: true}
+	for _, name := range names {
+		var status string
+		switch union[name] {
+		case 1:
+			status = FileOnlyInA
+		case 2:
+			status = FileOnlyInB
+		default:
+			status, err = diffFile(aDir, bDir, name, eps)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if status != FileIdentical {
+			d.Identical = false
+		}
+		if status != FileIdentical && status != FileWithinEpsilon {
+			d.Clean = false
+		}
+		d.Files = append(d.Files, FileDiff{File: name, Status: status})
+	}
+	return d, nil
+}
+
+// diffFile compares one artifact file present on both sides.
+func diffFile(aDir, bDir, name string, eps *Epsilon) (string, error) {
+	a, err := os.ReadFile(filepath.Join(aDir, name))
+	if err != nil {
+		return "", fmt.Errorf("experiment: %w", err)
+	}
+	b, err := os.ReadFile(filepath.Join(bDir, name))
+	if err != nil {
+		return "", fmt.Errorf("experiment: %w", err)
+	}
+	if name == "manifest.json" {
+		same, err := manifestsEquivalent(a, b)
+		if err != nil {
+			return "", err
+		}
+		if same {
+			return FileIdentical, nil
+		}
+		return FileDiffers, nil
+	}
+	if bytes.Equal(a, b) {
+		return FileIdentical, nil
+	}
+	if eps != nil && isSweepFile(name) {
+		ok, err := sweepsWithinEpsilon(a, b, eps)
+		if err != nil {
+			// A report file that fails to parse is drift, not an
+			// I/O failure of the diff itself.
+			return FileDiffers, nil
+		}
+		if ok {
+			return FileWithinEpsilon, nil
+		}
+	}
+	return FileDiffers, nil
+}
+
+func isSweepFile(name string) bool {
+	return len(name) > len("sweep-") && name[:len("sweep-")] == "sweep-"
+}
+
+// manifestsEquivalent compares manifests modulo timing and derived
+// summaries: schema version, scrubbed spec, and the artifact shape
+// (step names and files) must match.
+func manifestsEquivalent(a, b []byte) (bool, error) {
+	sa, err := scrubManifest(a)
+	if err != nil {
+		return false, err
+	}
+	sb, err := scrubManifest(b)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(sa, sb), nil
+}
+
+func scrubManifest(data []byte) ([]byte, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("experiment: parse manifest: %w", err)
+	}
+	type stepRef struct {
+		Name string `json:"name"`
+		File string `json:"file"`
+	}
+	scrubbed := struct {
+		SchemaVersion int       `json:"schema_version"`
+		Spec          Spec      `json:"spec"`
+		Sweeps        []stepRef `json:"sweeps"`
+		Analyses      []stepRef `json:"analyses"`
+	}{SchemaVersion: m.SchemaVersion, Spec: m.Spec}
+	for _, sw := range m.Sweeps {
+		scrubbed.Sweeps = append(scrubbed.Sweeps, stepRef{Name: sw.Name, File: sw.File})
+	}
+	for _, an := range m.Analyses {
+		scrubbed.Analyses = append(scrubbed.Analyses, stepRef{Name: an.Name, File: an.File})
+	}
+	out, err := json.Marshal(scrubbed)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	return out, nil
+}
+
+// sweepsWithinEpsilon re-compares two sweep report files metric by
+// metric: same sweep name, same backends (and members) in the same
+// order, same indicators, and every derived-metric delta inside eps.
+// Confusion counts are allowed to differ — that is the point of the
+// escape hatch.
+func sweepsWithinEpsilon(a, b []byte, eps *Epsilon) (bool, error) {
+	var da, db sweepJSON
+	if err := json.Unmarshal(a, &da); err != nil {
+		return false, fmt.Errorf("experiment: parse sweep report: %w", err)
+	}
+	if err := json.Unmarshal(b, &db); err != nil {
+		return false, fmt.Errorf("experiment: parse sweep report: %w", err)
+	}
+	if da.Sweep != db.Sweep || len(da.Reports) != len(db.Reports) {
+		return false, nil
+	}
+	for i := range da.Reports {
+		ra, rb := &da.Reports[i], &db.Reports[i]
+		if ra.Backend != rb.Backend || len(ra.Members) != len(rb.Members) || len(ra.Classes) != len(rb.Classes) {
+			return false, nil
+		}
+		for k := range ra.Members {
+			if ra.Members[k] != rb.Members[k] {
+				return false, nil
+			}
+		}
+		for k := range ra.Classes {
+			ca, cb := &ra.Classes[k], &rb.Classes[k]
+			if ca.Indicator != cb.Indicator {
+				return false, nil
+			}
+			if math.Abs(ca.Accuracy-cb.Accuracy) > eps.Accuracy ||
+				math.Abs(ca.Precision-cb.Precision) > eps.PRF1 ||
+				math.Abs(ca.Recall-cb.Recall) > eps.PRF1 ||
+				math.Abs(ca.F1-cb.F1) > eps.PRF1 {
+				return false, nil
+			}
+		}
+		if math.Abs(ra.Averages.Accuracy-rb.Averages.Accuracy) > eps.MacroAccuracy ||
+			math.Abs(ra.Averages.Precision-rb.Averages.Precision) > eps.MacroPRF1 ||
+			math.Abs(ra.Averages.Recall-rb.Averages.Recall) > eps.MacroPRF1 ||
+			math.Abs(ra.Averages.F1-rb.Averages.F1) > eps.MacroPRF1 {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -47,8 +47,21 @@ type Event struct {
 	Step string
 	// Backend is the backend's spec name, for ReportReady events.
 	Backend string
+	// Cell is the stable cell ID (see SweepCellID / AnalysisCellID) for
+	// ReportReady and AnalysisFinished events — the unit a checkpoint
+	// journal records.
+	Cell string
+	// Restored marks a ReportReady or AnalysisFinished event whose
+	// payload was spliced in from RunnerConfig.Checkpoint instead of
+	// being re-evaluated.
+	Restored bool
 	// Report is the backend's confusion report, for ReportReady.
 	Report *metrics.ClassReport
+	// Members is a vote cell's committee in rank order, for ReportReady
+	// events of vote sweeps; nil otherwise. Journaling consumers persist
+	// it alongside Report so a restored vote cell reproduces its
+	// artifact exactly.
+	Members []string
 	// Analysis is the step result, for AnalysisFinished.
 	Analysis *core.NeighborhoodResult
 	// Err is the failure cause, for RunFailed.
@@ -134,6 +147,11 @@ type RunnerConfig struct {
 	// Workers overrides the spec's evaluation worker budget when
 	// positive (a command-line -workers flag wins over the document).
 	Workers int
+	// Checkpoint resumes an interrupted run: cells present in it are
+	// restored instead of re-evaluated (their events carry Restored),
+	// and only the missing cells execute. The checkpoint must come from
+	// the same spec and seed. Nil runs everything.
+	Checkpoint *Checkpoint
 }
 
 // Runner executes specs on the concurrent evaluation engine. A Runner
@@ -215,10 +233,11 @@ func (r *Runner) Run(ctx context.Context, spec Spec, sink Sink) (*Result, error)
 			return fail(fmt.Errorf("experiment: %s: sweep %q: %w", spec.Name, sw.Name, err))
 		}
 		var sr SweepResult
+		var restored []bool
 		if sw.VoteTopOf != "" {
-			sr, err = r.runVoteSweep(ctx, ev, res, sw, opts, open)
+			sr, restored, err = r.runVoteSweep(ctx, ev, res, sw, opts, open)
 		} else {
-			sr, err = r.runSweep(ctx, ev, sw, opts, open)
+			sr, restored, err = r.runSweep(ctx, ev, sw, opts, open)
 		}
 		if err != nil {
 			return fail(fmt.Errorf("experiment: %s: sweep %q: %w", spec.Name, sw.Name, err))
@@ -226,29 +245,36 @@ func (r *Runner) Run(ctx context.Context, spec Spec, sink Sink) (*Result, error)
 		res.Sweeps = append(res.Sweeps, sr)
 		for k := range sr.Reports {
 			sink(Event{
-				Kind:    ReportReady,
-				Spec:    spec.Name,
-				Step:    sw.Name,
-				Backend: sr.Reports[k].Backend,
-				Report:  sr.Reports[k].Report,
+				Kind:     ReportReady,
+				Spec:     spec.Name,
+				Step:     sw.Name,
+				Backend:  sr.Reports[k].Backend,
+				Cell:     SweepCellID(sw.Name, sr.Reports[k].Backend),
+				Restored: restored[k],
+				Report:   sr.Reports[k].Report,
+				Members:  sr.Reports[k].Members,
 			})
 		}
 		sink(Event{Kind: SweepFinished, Spec: spec.Name, Step: sw.Name})
 	}
 	for i := range spec.Analyses {
 		a := &spec.Analyses[i]
+		cell := AnalysisCellID(a.Name)
 		sink(Event{Kind: AnalysisStarted, Spec: spec.Name, Step: a.Name})
-		b, err := open(a.Backend)
-		if err != nil {
-			return fail(err)
-		}
 		tractFeet := a.TractFeet
 		if tractFeet == 0 {
 			tractFeet = 5000
 		}
-		out, err := ev.AnalyzeNeighborhood(ctx, b, tractFeet)
-		if err != nil {
-			return fail(fmt.Errorf("experiment: %s: analysis %q: %w", spec.Name, a.Name, err))
+		out, restored := r.cfg.Checkpoint.analysis(cell)
+		if !restored {
+			b, err := open(a.Backend)
+			if err != nil {
+				return fail(err)
+			}
+			out, err = ev.AnalyzeNeighborhood(ctx, b, tractFeet)
+			if err != nil {
+				return fail(fmt.Errorf("experiment: %s: analysis %q: %w", spec.Name, a.Name, err))
+			}
 		}
 		res.Analyses = append(res.Analyses, AnalysisResult{
 			Name:      a.Name,
@@ -256,7 +282,7 @@ func (r *Runner) Run(ctx context.Context, spec Spec, sink Sink) (*Result, error)
 			TractFeet: tractFeet,
 			Result:    out,
 		})
-		sink(Event{Kind: AnalysisFinished, Spec: spec.Name, Step: a.Name, Analysis: out})
+		sink(Event{Kind: AnalysisFinished, Spec: spec.Name, Step: a.Name, Cell: cell, Restored: restored, Analysis: out})
 	}
 	res.Finished = time.Now()
 	sink(Event{Kind: RunFinished, Spec: spec.Name})
@@ -264,35 +290,62 @@ func (r *Runner) Run(ctx context.Context, spec Spec, sink Sink) (*Result, error)
 }
 
 // runSweep evaluates a regular sweep's backends concurrently and
-// returns their reports in spec order.
-func (r *Runner) runSweep(ctx context.Context, ev *core.Evaluator, sw *SweepSpec, opts core.LLMOptions, open func(string) (backend.Backend, error)) (SweepResult, error) {
-	backends := make([]backend.Backend, len(sw.Backends))
+// returns their reports in spec order, plus which cells were restored
+// from the checkpoint. Restored cells splice in their journaled report;
+// only the missing backends open (and, for supervised kinds, train) and
+// evaluate — the resume property the lab daemon's journal leans on.
+func (r *Runner) runSweep(ctx context.Context, ev *core.Evaluator, sw *SweepSpec, opts core.LLMOptions, open func(string) (backend.Backend, error)) (SweepResult, []bool, error) {
+	sr := SweepResult{Name: sw.Name, Reports: make([]BackendReport, len(sw.Backends))}
+	restored := make([]bool, len(sw.Backends))
+	var missing []int
 	for i, name := range sw.Backends {
-		b, err := open(name)
-		if err != nil {
-			return SweepResult{}, err
+		if cr, ok := r.cfg.Checkpoint.report(SweepCellID(sw.Name, name)); ok {
+			sr.Reports[i] = BackendReport{Backend: name, Report: cr.Report}
+			restored[i] = true
+			continue
 		}
-		backends[i] = b
+		missing = append(missing, i)
 	}
-	reports, err := ev.EvaluateBackendSet(ctx, backends, opts)
-	if err != nil {
-		return SweepResult{}, err
+	if len(missing) > 0 {
+		backends := make([]backend.Backend, len(missing))
+		for k, i := range missing {
+			b, err := open(sw.Backends[i])
+			if err != nil {
+				return SweepResult{}, nil, err
+			}
+			backends[k] = b
+		}
+		// Each backend's report depends only on (spec, seed, backend),
+		// never on which other backends share the evaluation set — the
+		// bit-identity the golden serial-vs-concurrent tests pin — so
+		// evaluating the missing subset reproduces the uninterrupted
+		// run's reports exactly.
+		reports, err := ev.EvaluateBackendSet(ctx, backends, opts)
+		if err != nil {
+			return SweepResult{}, nil, err
+		}
+		for k, i := range missing {
+			sr.Reports[i] = BackendReport{Backend: sw.Backends[i], Report: reports[k]}
+		}
 	}
-	sr := SweepResult{Name: sw.Name, Reports: make([]BackendReport, len(reports))}
-	for i := range reports {
-		sr.Reports[i] = BackendReport{Backend: sw.Backends[i], Report: reports[i]}
-	}
-	return sr, nil
+	return sr, restored, nil
 }
 
 // runVoteSweep majority-votes the top backends of an earlier sweep:
 // members are ranked by average accuracy (ties broken by backend name,
 // mirroring the paper's deterministic top-three selection), opened
 // again from their specs, and evaluated as one voting composite.
-func (r *Runner) runVoteSweep(ctx context.Context, ev *core.Evaluator, res *Result, sw *SweepSpec, opts core.LLMOptions, open func(string) (backend.Backend, error)) (SweepResult, error) {
+func (r *Runner) runVoteSweep(ctx context.Context, ev *core.Evaluator, res *Result, sw *SweepSpec, opts core.LLMOptions, open func(string) (backend.Backend, error)) (SweepResult, []bool, error) {
+	// A vote sweep is one cell, named after the sweep itself.
+	if cr, ok := r.cfg.Checkpoint.report(SweepCellID(sw.Name, sw.Name)); ok {
+		return SweepResult{
+			Name:    sw.Name,
+			Reports: []BackendReport{{Backend: sw.Name, Members: cr.Members, Report: cr.Report}},
+		}, []bool{true}, nil
+	}
 	prev := res.Sweep(sw.VoteTopOf)
 	if prev == nil {
-		return SweepResult{}, fmt.Errorf("source sweep %q has no result", sw.VoteTopOf)
+		return SweepResult{}, nil, fmt.Errorf("source sweep %q has no result", sw.VoteTopOf)
 	}
 	k := sw.VoteTopK
 	if k == 0 {
@@ -316,18 +369,18 @@ func (r *Runner) runVoteSweep(ctx context.Context, ev *core.Evaluator, res *Resu
 	for i := 0; i < k; i++ {
 		b, err := open(ranked[i].Backend)
 		if err != nil {
-			return SweepResult{}, err
+			return SweepResult{}, nil, err
 		}
 		members[i] = b
 		names[i] = ranked[i].Backend
 	}
 	voting, err := backend.NewVoting(sw.Name, members...)
 	if err != nil {
-		return SweepResult{}, err
+		return SweepResult{}, nil, err
 	}
 	report, err := ev.EvaluateBackend(ctx, voting, opts)
 	if err != nil {
-		return SweepResult{}, err
+		return SweepResult{}, nil, err
 	}
 	return SweepResult{
 		Name: sw.Name,
@@ -336,5 +389,5 @@ func (r *Runner) runVoteSweep(ctx context.Context, ev *core.Evaluator, res *Resu
 			Members: names,
 			Report:  report,
 		}},
-	}, nil
+	}, []bool{false}, nil
 }

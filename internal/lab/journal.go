@@ -1,0 +1,151 @@
+package lab
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nbhd/internal/core"
+	"nbhd/internal/experiment"
+	"nbhd/internal/metrics"
+)
+
+// The journal is the lab's cell-granular checkpoint: one JSONL file per
+// in-flight run under <workspace>/journal/<runID>.jsonl. The first line
+// is a header binding the journal to its run and spec (by SHA-256 of
+// the resolved spec document — a changed spec file invalidates the
+// journal instead of resuming into wrong results); each following line
+// is one completed cell's payload, appended and fsynced as the runner's
+// ReportReady / AnalysisFinished events stream out. On resume the lines
+// replay into an experiment.Checkpoint, so a killed daemon re-runs only
+// the missing cells. The journal is deleted once the run reaches a
+// terminal status that cannot resume (done, failed, canceled).
+
+const journalDirName = "journal"
+
+// journalHeader is the first line of a journal file.
+type journalHeader struct {
+	Run        string `json:"run"`
+	Job        string `json:"job,omitempty"`
+	SpecSHA256 string `json:"spec_sha256"`
+}
+
+// journalEntry is one completed cell. Sweep cells carry a report (and,
+// for vote cells, the committee); analysis cells carry the result.
+type journalEntry struct {
+	Cell     string                   `json:"cell"`
+	Members  []string                 `json:"members,omitempty"`
+	Report   *metrics.ClassReport     `json:"report,omitempty"`
+	Analysis *core.NeighborhoodResult `json:"analysis,omitempty"`
+}
+
+// journalPath names a run's journal file.
+func journalPath(ws, runID string) string {
+	return filepath.Join(ws, journalDirName, runID+".jsonl")
+}
+
+// loadJournal replays a run's journal into a checkpoint. A missing
+// file, or a header that does not match this run and spec hash, yields
+// a nil checkpoint (run everything). A torn final line — the SIGKILL
+// case — is dropped; every fully-written cell before it survives.
+func loadJournal(ws, runID, specSHA string) (*experiment.Checkpoint, int) {
+	data, err := os.ReadFile(journalPath(ws, runID))
+	if err != nil {
+		return nil, 0
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 {
+		return nil, 0
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Run != runID || hdr.SpecSHA256 != specSHA {
+		return nil, 0
+	}
+	cp := &experiment.Checkpoint{
+		Reports:  map[string]experiment.CellReport{},
+		Analyses: map[string]*core.NeighborhoodResult{},
+	}
+	cells := 0
+	for _, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn tail: keep what we have.
+			break
+		}
+		switch {
+		case e.Report != nil:
+			cp.Reports[e.Cell] = experiment.CellReport{Members: e.Members, Report: e.Report}
+			cells++
+		case e.Analysis != nil:
+			cp.Analyses[e.Cell] = e.Analysis
+			cells++
+		}
+	}
+	if cells == 0 {
+		return nil, 0
+	}
+	return cp, cells
+}
+
+// journalWriter appends cell lines durably.
+type journalWriter struct {
+	f *os.File
+}
+
+// openJournal opens (creating with its header if absent) a run's
+// journal for appending.
+func openJournal(ws, runID string, hdr journalHeader) (*journalWriter, error) {
+	if err := os.MkdirAll(filepath.Join(ws, journalDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	path := journalPath(ws, runID)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	w := &journalWriter{f: f}
+	if info.Size() == 0 {
+		if err := w.appendLine(hdr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// appendLine writes one JSON line and fsyncs: a cell is either fully
+// durable or (torn) discarded on replay — never half-trusted.
+func (w *journalWriter) appendLine(v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("lab: encode journal line: %w", err)
+	}
+	buf := bufio.NewWriter(w.f)
+	buf.Write(data)
+	buf.WriteByte('\n')
+	if err := buf.Flush(); err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	return nil
+}
+
+func (w *journalWriter) close() {
+	if w != nil && w.f != nil {
+		_ = w.f.Close()
+		w.f = nil
+	}
+}

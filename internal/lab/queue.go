@@ -1,0 +1,76 @@
+package lab
+
+import (
+	"container/heap"
+	"time"
+)
+
+// runQueue is a priority queue of enqueued runs ordered by (due, seq):
+// earliest due first, FIFO within a due time. Resumed interrupted runs
+// enter with a zero due time, so they drain before fresh work.
+type runQueue struct {
+	items runItems
+}
+
+type runItem struct {
+	runID string
+	due   time.Time
+	seq   int
+}
+
+type runItems []runItem
+
+func (q runItems) Len() int { return len(q) }
+func (q runItems) Less(i, j int) bool {
+	if !q[i].due.Equal(q[j].due) {
+		return q[i].due.Before(q[j].due)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q runItems) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *runItems) Push(x any)   { *q = append(*q, x.(runItem)) }
+func (q *runItems) Pop() any     { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+func (q *runQueue) push(it runItem) { heap.Push(&q.items, it) }
+
+// pop removes the front item if it is due at now.
+func (q *runQueue) pop(now time.Time) (runItem, bool) {
+	if len(q.items) == 0 || q.items[0].due.After(now) {
+		return runItem{}, false
+	}
+	return heap.Pop(&q.items).(runItem), true
+}
+
+// nextDue returns the front item's due time.
+func (q *runQueue) nextDue() (time.Time, bool) {
+	if len(q.items) == 0 {
+		return time.Time{}, false
+	}
+	return q.items[0].due, true
+}
+
+// remove deletes the run from the queue, reporting whether it was
+// present.
+func (q *runQueue) remove(runID string) bool {
+	for i := range q.items {
+		if q.items[i].runID == runID {
+			heap.Remove(&q.items, i)
+			return true
+		}
+	}
+	return false
+}
+
+// ids lists the queued run IDs in priority order (a sorted copy — the
+// heap's internal order is not the scan order).
+func (q *runQueue) ids() []string {
+	cp := make(runItems, len(q.items))
+	copy(cp, q.items)
+	out := make([]string, 0, len(cp))
+	for len(cp) > 0 {
+		out = append(out, heap.Pop(&cp).(runItem).runID)
+	}
+	return out
+}
+
+func (q *runQueue) depth() int { return len(q.items) }

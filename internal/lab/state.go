@@ -1,0 +1,148 @@
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nbhd/internal/experiment"
+)
+
+// Run statuses. A run moves queued → running → one terminal status,
+// except interrupted, which re-queues at the next daemon start (or
+// drain recovery) and resumes from its journal.
+const (
+	StatusQueued      = "queued"
+	StatusRunning     = "running"
+	StatusDone        = "done"
+	StatusFailed      = "failed"
+	StatusCanceled    = "canceled"
+	StatusInterrupted = "interrupted"
+)
+
+// stateSchemaVersion stamps state.json for future migrations.
+const stateSchemaVersion = 1
+
+// RunRecord is one run's durable record in state.json.
+type RunRecord struct {
+	// ID is "<job>-<seq>" (or "adhoc-<seq>" for one-shot specs).
+	ID string `json:"id"`
+	// Job is the owning job name; empty for ad-hoc runs.
+	Job string `json:"job,omitempty"`
+	// Spec holds an ad-hoc run's full spec document; job runs resolve
+	// their spec from config at start instead.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Status is one of the Status* constants.
+	Status string `json:"status"`
+	// Enqueued / Started / Finished are wall-clock run timing. Timing
+	// lives here, never in the artifacts, so artifact diffs stay
+	// byte-exact.
+	Enqueued time.Time `json:"enqueued"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	// Dir is the artifact run directory, relative to the workspace.
+	Dir string `json:"dir,omitempty"`
+	// Cells / CellsRestored count evaluated vs journal-restored cells.
+	Cells         int `json:"cells,omitempty"`
+	CellsRestored int `json:"cells_restored,omitempty"`
+	// Diff is the comparison against the job's baseline at completion.
+	Diff *DiffSummary `json:"diff,omitempty"`
+	// Error is the failure cause for StatusFailed.
+	Error string `json:"error,omitempty"`
+
+	// cancelRequested distinguishes an operator cancel from a drain
+	// when the run context dies; not persisted.
+	cancelRequested bool
+}
+
+// DiffSummary is a baseline comparison, kept small enough for
+// state.json: the verdict plus only the non-identical files.
+type DiffSummary struct {
+	// Against is the baseline run ID the run was compared to.
+	Against string `json:"against"`
+	// Identical / Clean mirror experiment.RunDiff.
+	Identical bool `json:"identical"`
+	Clean     bool `json:"clean"`
+	// Files lists only the files that did not compare identical.
+	Files []experiment.FileDiff `json:"files,omitempty"`
+}
+
+func summarizeDiff(against string, d *experiment.RunDiff) *DiffSummary {
+	s := &DiffSummary{Against: against, Identical: d.Identical, Clean: d.Clean}
+	for _, f := range d.Files {
+		if f.Status != experiment.FileIdentical {
+			s.Files = append(s.Files, f)
+		}
+	}
+	return s
+}
+
+// jobState is one job's durable scheduling state.
+type jobState struct {
+	// Baseline is the accepted baseline run ID ("" before the first
+	// promotion).
+	Baseline string `json:"baseline,omitempty"`
+	// NextDue is the next interval trigger; zero for manual jobs.
+	NextDue time.Time `json:"next_due,omitzero"`
+}
+
+// labState is the state.json document.
+type labState struct {
+	SchemaVersion int                   `json:"schema_version"`
+	Seq           int                   `json:"seq"`
+	Jobs          map[string]*jobState  `json:"jobs"`
+	Runs          map[string]*RunRecord `json:"runs"`
+	// Order lists run IDs in creation order (map iteration isn't
+	// stable, and /queuez wants history oldest-first).
+	Order []string `json:"order,omitempty"`
+}
+
+const stateFileName = "state.json"
+
+// loadState reads state.json; a missing file is an empty state.
+func loadState(dir string) (*labState, error) {
+	st := &labState{
+		SchemaVersion: stateSchemaVersion,
+		Jobs:          map[string]*jobState{},
+		Runs:          map[string]*RunRecord{},
+	}
+	data, err := os.ReadFile(filepath.Join(dir, stateFileName))
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	if err := json.Unmarshal(data, st); err != nil {
+		return nil, fmt.Errorf("lab: parse %s: %w", stateFileName, err)
+	}
+	if st.SchemaVersion != stateSchemaVersion {
+		return nil, fmt.Errorf("lab: %s schema version %d, want %d", stateFileName, st.SchemaVersion, stateSchemaVersion)
+	}
+	if st.Jobs == nil {
+		st.Jobs = map[string]*jobState{}
+	}
+	if st.Runs == nil {
+		st.Runs = map[string]*RunRecord{}
+	}
+	return st, nil
+}
+
+// saveState writes state.json atomically (tmp + rename), so a kill
+// mid-write leaves the previous state intact.
+func saveState(dir string, st *labState) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lab: encode state: %w", err)
+	}
+	tmp := filepath.Join(dir, stateFileName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, stateFileName)); err != nil {
+		return fmt.Errorf("lab: %w", err)
+	}
+	return nil
+}

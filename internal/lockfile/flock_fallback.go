@@ -1,0 +1,12 @@
+//go:build !unix
+
+package lockfile
+
+import "os"
+
+// Non-unix fallback: no advisory locking. The lock file is still
+// created so workspace layouts look identical; cross-process exclusion
+// degrades (see the package comment).
+func flock(f *os.File) error { return nil }
+
+func funlock(f *os.File) error { return nil }

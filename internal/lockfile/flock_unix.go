@@ -1,0 +1,19 @@
+//go:build unix
+
+package lockfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// flock takes the exclusive advisory lock without blocking. flock locks
+// belong to the open file description, so the kernel releases them when
+// the owner's descriptors close — including on SIGKILL.
+func flock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+func funlock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,62 @@
+// Package lockfile is the shared single-owner file lock: an exclusive
+// advisory flock on a named file, the mechanism both the persistent
+// frame store (internal/store) and the lab workspace (internal/lab)
+// use to enforce their one-writer / one-daemon rules.
+//
+// The lock is advisory and owned by the open file description, so it
+// has the stale-lock semantics a crash-safe daemon wants for free: if
+// the owning process dies — cleanly or by SIGKILL — the kernel drops
+// the lock and the next Acquire succeeds immediately. The lock file
+// itself persists on disk (it is never unlinked: racing an unlink
+// against a fresh open would let two owners lock different inodes of
+// the same path), and holds no meaningful content.
+//
+// On platforms without flock (the !unix fallback) Acquire degrades to
+// creating the file without locking; correctness of the callers'
+// single-process tests is preserved, cross-process exclusion is not.
+package lockfile
+
+import (
+	"fmt"
+	"os"
+)
+
+// Lock is a held exclusive lock. Release it exactly once; a Lock is not
+// safe for concurrent use.
+type Lock struct {
+	f *os.File
+}
+
+// Acquire creates path if needed and takes the exclusive advisory lock,
+// without blocking: if another process (or another open descriptor in
+// this one) holds it, Acquire fails immediately with an error naming
+// the path.
+func Acquire(path string) (*Lock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lockfile: open %s: %w", path, err)
+	}
+	if err := flock(f); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("lockfile: %s is locked by another owner: %w", path, err)
+	}
+	return &Lock{f: f}, nil
+}
+
+// Release drops the lock and closes the file. It is idempotent: a
+// second Release is a no-op.
+func (l *Lock) Release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := funlock(l.f)
+	closeErr := l.f.Close()
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("lockfile: unlock: %w", err)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("lockfile: close: %w", closeErr)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+//go:build unix
+
+package lockfile
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestAcquireExcludesSecondOwner(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOCK")
+	l1, err := Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flock locks belong to the open file description, so a second
+	// Acquire in the same process models a second process exactly.
+	if _, err := Acquire(path); err == nil {
+		t.Fatal("second Acquire succeeded while the lock was held")
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Acquire(path)
+	if err != nil {
+		t.Fatalf("Acquire after Release: %v", err)
+	}
+	if err := l2.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "LOCK")
+	l, err := Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err != nil {
+		t.Errorf("second Release errored: %v", err)
+	}
+	var nilLock *Lock
+	if err := nilLock.Release(); err != nil {
+		t.Errorf("nil Release errored: %v", err)
+	}
+}

@@ -8,9 +8,9 @@ import (
 )
 
 // Non-unix fallback: read the segment into memory instead of mapping
-// it, and skip advisory locking. Correctness is identical; the
-// render-once/serve-forever and page-cache-sharing properties degrade
-// to per-process copies.
+// it. Correctness is identical; the render-once/serve-forever and
+// page-cache-sharing properties degrade to per-process copies (advisory
+// locking degrades in internal/lockfile's own fallback).
 
 func mmapFile(f *os.File, length int64) ([]byte, error) {
 	if length == 0 {
@@ -24,7 +24,3 @@ func mmapFile(f *os.File, length int64) ([]byte, error) {
 }
 
 func munmap(data []byte) error { return nil }
-
-func lockFile(f *os.File) error { return nil }
-
-func unlockFile(f *os.File) error { return nil }

@@ -24,13 +24,3 @@ func munmap(data []byte) error {
 	}
 	return syscall.Munmap(data)
 }
-
-// lockFile takes an exclusive advisory lock (single-writer rule);
-// readers never lock.
-func lockFile(f *os.File) error {
-	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
-}
-
-func unlockFile(f *os.File) error {
-	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
-}

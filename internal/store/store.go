@@ -39,6 +39,7 @@ import (
 	"sort"
 	"sync"
 
+	"nbhd/internal/lockfile"
 	"nbhd/internal/render"
 )
 
@@ -84,7 +85,7 @@ type Store struct {
 	index        map[Key]entryLoc
 	order        []Key
 	segs         []*segment
-	lockF        *os.File
+	lock         *lockfile.Lock
 	payloadBytes int64
 	dirty        bool // records appended since the index file was written
 	closed       bool
@@ -113,15 +114,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: create %s: %w", dir, err)
 		}
-		lf, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+		lock, err := lockfile.Acquire(filepath.Join(dir, lockFileName))
 		if err != nil {
-			return nil, fmt.Errorf("store: open lock file: %w", err)
-		}
-		if err := lockFile(lf); err != nil {
-			_ = lf.Close()
 			return nil, fmt.Errorf("store: %s is locked by another writer: %w", dir, err)
 		}
-		s.lockF = lf
+		s.lock = lock
 	}
 	if err := s.openSegments(); err != nil {
 		s.release()
@@ -440,10 +437,9 @@ func (s *Store) release() {
 			seg.f = nil
 		}
 	}
-	if s.lockF != nil {
-		_ = unlockFile(s.lockF)
-		_ = s.lockF.Close()
-		s.lockF = nil
+	if s.lock != nil {
+		_ = s.lock.Release()
+		s.lock = nil
 	}
 }
 
