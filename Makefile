@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-store bench-quant run-experiment serve-smoke fleet-smoke lab-smoke fmt fmt-check vet godoc-check check
+.PHONY: all build test race bench bench-smoke bench-store bench-quant run-experiment serve-smoke fleet-smoke lab-smoke robustness-smoke fmt fmt-check vet godoc-check check
 
 all: build
 
@@ -29,7 +29,7 @@ bench:
 # zero-allocation training step), with -benchmem so allocation regressions
 # in the pooled hot path are visible in CI artifacts.
 bench-smoke:
-	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep|ConvForward|ConvBackward|TrainEpoch|DetectorForward|PredictBatch|Nearest|WarmStart' -benchtime=1x -benchmem
+	$(GO) test -run=NONE -bench='MatMul128|HTTPBackend_Sweep|ConvForward|ConvBackward|TrainEpoch|DetectorForward|PredictBatch|Nearest|WarmStart|DegradationOps' -benchtime=1x -benchmem
 
 # Spatial-layer benchmarks on their own: the geo index vs the linear
 # scan it replaced, and warm-start store serving vs cold rendering.
@@ -88,6 +88,18 @@ fleet-smoke:
 # artifact recording both guarantees; the target fails if either does.
 lab-smoke:
 	$(GO) run ./cmd/nbhdlab -smoke -coords 12 -bench-out BENCH_pr9.json
+
+# Runs a reduced robustness matrix end to end through the builtin
+# experiment: two world morphologies, the clean and night capture
+# conditions, the two supervised backends — every cell checked against
+# the accuracy envelope (the run exits non-zero on any cell below its
+# floor). Writes BENCH_pr10.json, the CI artifact recording the full
+# cell table; run artifacts land under runs/ and are byte-identical for
+# the same seed.
+robustness-smoke:
+	$(GO) run ./cmd/llmeval -coords 8 -seed 0 -experiment robustness \
+		-morphology grid,coastal -condition clean,night -matrix-kinds cnn,yolo \
+		-train-epochs 1 -run-dir runs -bench-out BENCH_pr10.json
 
 fmt:
 	gofmt -w .

@@ -20,6 +20,7 @@ import (
 	"nbhd/internal/labelme"
 	"nbhd/internal/render"
 	"nbhd/internal/scene"
+	"nbhd/internal/world"
 )
 
 func main() {
@@ -34,9 +35,22 @@ func run() error {
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output directory for annotations and images (empty = stats only)")
 	renderSize := flag.Int("render", 0, "PNG render size (0 = skip image files)")
+	morphology := flag.String("morphology", "", "procedural world family (empty = legacy study world); one of "+fmt.Sprint(world.Names()))
+	condition := flag.String("condition", "", "capture condition for rendered images; one of "+fmt.Sprint(dataset.Conditions()))
 	flag.Parse()
 
-	study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: *coords, Seed: *seed})
+	if *morphology != "" && !world.Valid(*morphology) {
+		return fmt.Errorf("unknown morphology %q (have %v)", *morphology, world.Names())
+	}
+	if !dataset.ValidCondition(*condition) {
+		return fmt.Errorf("unknown capture condition %q (have %v)", *condition, dataset.Conditions())
+	}
+	study, err := dataset.BuildStudy(dataset.StudyConfig{
+		Coordinates: *coords,
+		Seed:        *seed,
+		Morphology:  *morphology,
+		Condition:   *condition,
+	})
 	if err != nil {
 		return err
 	}
@@ -65,7 +79,7 @@ func run() error {
 	if annSize == 0 {
 		annSize = render.DefaultWidth
 	}
-	for _, fr := range study.Frames {
+	for i, fr := range study.Frames {
 		rec, err := labeler.Annotate(fr.Scene, annSize, annSize)
 		if err != nil {
 			return err
@@ -83,10 +97,13 @@ func run() error {
 			return fmt.Errorf("write %s: %w", annPath, err)
 		}
 		if size > 0 {
-			img, err := render.Render(fr.Scene, render.Config{Width: size, Height: size})
+			// RenderExamples (not render.Render directly) so the -condition
+			// degradation applies to the written PNGs.
+			exs, err := study.RenderExamples([]int{i}, size)
 			if err != nil {
 				return err
 			}
+			img := exs[0].Image
 			pngPath := filepath.Join(*out, fr.Scene.ID+".png")
 			f, err := os.Create(pngPath)
 			if err != nil {

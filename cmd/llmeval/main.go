@@ -30,10 +30,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"nbhd/internal/experiment"
 	"nbhd/internal/metrics"
@@ -61,7 +63,7 @@ func quantSuffix(on bool) string {
 func run() error {
 	coords := flag.Int("coords", 150, "sampled coordinates (4 frames each)")
 	seed := flag.Int64("seed", 1, "seed")
-	experimentName := flag.String("experiment", "all", "one of: all, tables, f4, f5, f6, params (local/http backends)")
+	experimentName := flag.String("experiment", "all", "one of: all, tables, f4, f5, f6, params, smoke, or robustness[:family] (local/http backends)")
 	workers := flag.Int("workers", 0, "evaluation worker budget (0 = GOMAXPROCS); multi-model sweeps divide it")
 	backendName := flag.String("backend", "local", "classifier backend: local, http, yolo, or cnn")
 	baseURL := flag.String("base-url", "http://127.0.0.1:8080", "llmserve base URL for -backend http")
@@ -69,6 +71,10 @@ func run() error {
 	trainEpochs := flag.Int("train-epochs", 20, "training epochs for -backend yolo/cnn")
 	quant := flag.Bool("quant", false, "run -backend yolo/cnn inference on the int8 quantized path")
 	runDir := flag.String("run-dir", "", "write run artifacts (manifest + per-sweep report JSON) under this directory")
+	morphology := flag.String("morphology", "", "procedural world family for the corpus (empty = legacy study world); comma-list of families for -experiment robustness")
+	condition := flag.String("condition", "", "corpus capture condition; comma-list of matrix conditions for -experiment robustness")
+	matrixKinds := flag.String("matrix-kinds", "", "comma-list restricting the robustness matrix's backend kinds")
+	benchOut := flag.String("bench-out", "", "write the robustness matrix result JSON to this file (robustness only)")
 	verbose := flag.Bool("v", false, "stream run progress events to stderr")
 	flag.Parse()
 
@@ -76,6 +82,29 @@ func run() error {
 	defer stop()
 
 	cfg := experiment.BuiltinConfig{Coordinates: *coords, Seed: *seed, TrainEpochs: *trainEpochs, Quantized: *quant}
+	if *backendName == "http" {
+		cfg.BaseURL = *baseURL
+		cfg.APIKey = *apiKey
+	}
+	robustness := *experimentName == "robustness" || strings.HasPrefix(*experimentName, "robustness:")
+	if robustness {
+		return runRobustness(ctx, robustnessArgs{
+			cfg:         cfg,
+			experiment:  *experimentName,
+			morphology:  *morphology,
+			condition:   *condition,
+			matrixKinds: *matrixKinds,
+			benchOut:    *benchOut,
+			runDir:      *runDir,
+			workers:     *workers,
+			verbose:     *verbose,
+		})
+	}
+	if *matrixKinds != "" || *benchOut != "" {
+		return fmt.Errorf("-matrix-kinds and -bench-out apply only to -experiment robustness")
+	}
+	cfg.Morphology = *morphology
+	cfg.Condition = *condition
 	specName := *experimentName
 	switch *backendName {
 	case "local", "http":
@@ -86,10 +115,6 @@ func run() error {
 		case "all", "tables", "f4", "f5", "f6", "params", "smoke":
 		default:
 			return fmt.Errorf("unknown experiment %q (want all, tables, f4, f5, f6, params, or smoke)", specName)
-		}
-		if *backendName == "http" {
-			cfg.BaseURL = *baseURL
-			cfg.APIKey = *apiKey
 		}
 	case "yolo":
 		specName = "yolo"
@@ -119,20 +144,7 @@ func run() error {
 		defer func() { _ = store.Close() }()
 	}
 
-	var sink experiment.Sink
-	if *verbose {
-		sink = func(ev experiment.Event) {
-			switch ev.Kind {
-			case experiment.ReportReady:
-				fmt.Fprintf(os.Stderr, "llmeval: %s %s/%s report ready\n", ev.Kind, ev.Step, ev.Backend)
-			case experiment.RunFailed:
-				fmt.Fprintf(os.Stderr, "llmeval: %s %v\n", ev.Kind, ev.Err)
-			default:
-				fmt.Fprintf(os.Stderr, "llmeval: %s %s\n", ev.Kind, ev.Step)
-			}
-		}
-	}
-	res, err := experiment.NewRunner(experiment.RunnerConfig{Workers: *workers}).Run(ctx, spec, sink)
+	res, err := experiment.NewRunner(experiment.RunnerConfig{Workers: *workers}).Run(ctx, spec, eventSink(*verbose))
 	if err != nil {
 		return err
 	}
@@ -144,6 +156,111 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "llmeval: run artifacts in %s\n", dir)
 	}
 	return printExperiment(specName, res)
+}
+
+// eventSink streams run progress events to stderr when verbose.
+func eventSink(verbose bool) experiment.Sink {
+	if !verbose {
+		return nil
+	}
+	return func(ev experiment.Event) {
+		switch ev.Kind {
+		case experiment.ReportReady:
+			fmt.Fprintf(os.Stderr, "llmeval: %s %s/%s report ready\n", ev.Kind, ev.Step, ev.Backend)
+		case experiment.RunFailed:
+			fmt.Fprintf(os.Stderr, "llmeval: %s %v\n", ev.Kind, ev.Err)
+		default:
+			fmt.Fprintf(os.Stderr, "llmeval: %s %s\n", ev.Kind, ev.Step)
+		}
+	}
+}
+
+// robustnessArgs carries the flag values the matrix mode consumes.
+type robustnessArgs struct {
+	cfg         experiment.BuiltinConfig
+	experiment  string
+	morphology  string
+	condition   string
+	matrixKinds string
+	benchOut    string
+	runDir      string
+	workers     int
+	verbose     bool
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runRobustness executes the morphology × condition × backend matrix and
+// checks every cell against the accuracy envelope. A cell below its
+// floor makes the command fail after the full matrix (and any -bench-out
+// file) is reported.
+func runRobustness(ctx context.Context, args robustnessArgs) error {
+	cfg := experiment.MatrixConfig{
+		Builtin: args.cfg,
+		Runner:  experiment.RunnerConfig{Workers: args.workers},
+	}
+	cfg.Builtin.MatrixKinds = splitList(args.matrixKinds)
+	cfg.Builtin.MatrixConditions = splitList(args.condition)
+	if fam, ok := strings.CutPrefix(args.experiment, "robustness:"); ok {
+		if args.morphology != "" {
+			return fmt.Errorf("-experiment %s already names a morphology; drop -morphology", args.experiment)
+		}
+		cfg.Morphologies = []string{fam}
+	} else {
+		cfg.Morphologies = splitList(args.morphology)
+	}
+
+	var store *experiment.Store
+	if args.runDir != "" {
+		var err error
+		store, err = experiment.NewStore(args.runDir)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = store.Close() }()
+	}
+	res, err := experiment.RunMatrix(ctx, cfg, store, eventSink(args.verbose))
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("robustness matrix — macro-average accuracy vs envelope floor:")
+	fmt.Printf("%-10s %-10s %-10s %9s %7s %5s\n", "world", "condition", "backend", "accuracy", "floor", "ok")
+	for _, c := range res.Cells {
+		world := c.Morphology
+		if world == "" {
+			world = "legacy"
+		}
+		ok := "yes"
+		if !c.Pass {
+			ok = "NO"
+		}
+		fmt.Printf("%-10s %-10s %-10s %9.4f %7.2f %5s\n", world, c.Condition, c.Backend, c.Accuracy, c.Floor, ok)
+	}
+	if args.benchOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(args.benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "llmeval: matrix result written to %s\n", args.benchOut)
+	}
+	if fails := res.Failures(); len(fails) > 0 {
+		return fmt.Errorf("%d matrix cell(s) below the accuracy envelope (first: %s/%s/%s %.4f < %.2f)",
+			len(fails), fails[0].Morphology, fails[0].Condition, fails[0].Backend, fails[0].Accuracy, fails[0].Floor)
+	}
+	return nil
 }
 
 // printExperiment renders a run's reports in the paper's layout.

@@ -21,6 +21,7 @@ package main
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,13 +29,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"nbhd/internal/backend"
 	"nbhd/internal/core"
+	"nbhd/internal/dataset"
 	"nbhd/internal/serve"
 	"nbhd/internal/vlm"
+	"nbhd/internal/world"
 )
 
 func main() {
@@ -61,6 +65,7 @@ func run() error {
 	lgConcurrency := flag.Int("loadgen-concurrency", 32, "loadgen concurrent clients")
 	lgFrames := flag.Int("loadgen-frames", 64, "distinct frames the replay cycles through")
 	lgSkew := flag.Float64("loadgen-skew", 1.2, "Zipf exponent of frame popularity (0 = uniform; real traffic is skewed)")
+	lgMix := flag.String("loadgen-mix", "", "comma-list of world families (e.g. grid,coastal): replay a blend of uploaded frames rendered from each morphology's corpus — heterogeneous shard keys for fleet benchmarks")
 	benchOut := flag.String("bench-out", "BENCH_pr5.json", "loadgen report output path")
 	flag.Parse()
 
@@ -78,6 +83,7 @@ func run() error {
 			concurrency: *lgConcurrency,
 			frames:      *lgFrames,
 			skew:        *lgSkew,
+			mix:         *lgMix,
 			out:         *benchOut,
 		})
 	}
@@ -170,6 +176,7 @@ type loadgenParams struct {
 	concurrency int
 	frames      int
 	skew        float64
+	mix         string
 	out         string
 }
 
@@ -201,10 +208,17 @@ func runLoadgen(ctx context.Context, p loadgenParams) error {
 	// another's warm connections.
 	client := serve.NewLoadgenClient(p.concurrency)
 	if p.target != "" {
-		// External target: single pass, client-side numbers only.
+		// External target: single pass, client-side numbers only. A mix
+		// uploads frames at the CNN default input size; the target's cnn
+		// route must match it.
+		mix, err := buildLoadgenMix(p.mix, p.seed, p.frames, mixUploadSize)
+		if err != nil {
+			return err
+		}
 		rep, err := serve.Loadgen(ctx, serve.LoadgenConfig{
 			BaseURL: p.target, Backend: "cnn",
 			Frames: p.frames, Requests: p.requests, Concurrency: p.concurrency, Skew: p.skew,
+			Mix:        mix,
 			HTTPClient: client,
 		})
 		if err != nil {
@@ -234,11 +248,18 @@ func runLoadgen(ctx context.Context, p loadgenParams) error {
 	// Pre-warm every replayed frame so neither pass pays render cost and
 	// the comparison isolates the dispatch strategy. With a -store-dir,
 	// repeated loadgen runs skip rendering entirely: frames mmap from the
-	// persistent tier.
+	// persistent tier. A morphology mix pre-renders its upload corpus
+	// instead (clients send pixels; the gateway renders nothing).
 	size := cnn.Capabilities().RenderSize
-	for i := 0; i < p.frames; i++ {
-		if _, err := pipe.RenderCache().Example(i, size); err != nil {
-			return err
+	mix, err := buildLoadgenMix(p.mix, p.seed, p.frames, size)
+	if err != nil {
+		return err
+	}
+	if mix == nil {
+		for i := 0; i < p.frames; i++ {
+			if _, err := pipe.RenderCache().Example(i, size); err != nil {
+				return err
+			}
 		}
 	}
 	if p.storeDir != "" {
@@ -269,6 +290,7 @@ func runLoadgen(ctx context.Context, p loadgenParams) error {
 		rep, err := serve.Loadgen(ctx, serve.LoadgenConfig{
 			BaseURL: "http://" + ln.Addr().String(), Backend: "cnn",
 			Frames: p.frames, Requests: p.requests, Concurrency: p.concurrency, Skew: p.skew,
+			Mix:        mix,
 			HTTPClient: client,
 		})
 		if err != nil {
@@ -330,6 +352,69 @@ func runLoadgen(ctx context.Context, p loadgenParams) error {
 	}
 	fmt.Printf("coalesced/batch1 throughput: %.2fx\n", report.ThroughputSpeedup)
 	return writeJSONFile(p.out, report)
+}
+
+// mixUploadSize is the upload resolution when the mix targets an
+// external gateway (the CNN backend's default input size).
+const mixUploadSize = 64
+
+// buildLoadgenMix renders a small upload corpus per named world family
+// and returns one mix entry per frame, labeled by family. The spec
+// string is a comma-list of families; empty returns nil (index-addressed
+// replay). Frames upload as lossless raw-f32 payloads, so each
+// morphology contributes genuinely distinct pixel content — and thus
+// distinct shard keys — to the blend.
+func buildLoadgenMix(spec string, seed int64, totalFrames, size int) ([]serve.LoadgenMix, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var families []string
+	for _, f := range strings.Split(spec, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			families = append(families, f)
+		}
+	}
+	if len(families) == 0 {
+		return nil, fmt.Errorf("-loadgen-mix names no families")
+	}
+	perFam := totalFrames / len(families)
+	if perFam < 1 {
+		perFam = 1
+	}
+	var mix []serve.LoadgenMix
+	for _, fam := range families {
+		if !world.Valid(fam) {
+			return nil, fmt.Errorf("unknown world family %q in -loadgen-mix (have %v)", fam, world.Names())
+		}
+		study, err := dataset.BuildStudy(dataset.StudyConfig{
+			Coordinates: (perFam + core.FramesPerCoordinate - 1) / core.FramesPerCoordinate,
+			Seed:        seed,
+			Morphology:  fam,
+		})
+		if err != nil {
+			return nil, err
+		}
+		indices := make([]int, perFam)
+		for i := range indices {
+			indices[i] = i
+		}
+		examples, err := study.RenderExamples(indices, size)
+		if err != nil {
+			return nil, err
+		}
+		for _, ex := range examples {
+			mix = append(mix, serve.LoadgenMix{
+				Label: fam,
+				Frame: serve.FrameRef{
+					ImageF32Base64: base64.StdEncoding.EncodeToString(ex.Image.EncodeRawF32()),
+					Width:          ex.Image.W,
+					Height:         ex.Image.H,
+				},
+			})
+		}
+	}
+	fmt.Printf("loadgen mix: %d uploaded frames across %v\n", len(mix), families)
+	return mix, nil
 }
 
 func writeJSONFile(path string, v any) error {

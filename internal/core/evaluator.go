@@ -11,6 +11,7 @@ import (
 
 	"nbhd/internal/analysis"
 	"nbhd/internal/backend"
+	"nbhd/internal/dataset"
 	"nbhd/internal/ensemble"
 	"nbhd/internal/geo"
 	"nbhd/internal/metrics"
@@ -84,13 +85,13 @@ func (p *Pipeline) renderSizeFor(caps backend.Capabilities) int {
 }
 
 // frameItems builds backend items for corpus frames [start,end) from the
-// shared render and perception caches at the given resolution — the one
-// batch-assembly path every sweep (classification and neighborhood
-// analysis alike) goes through.
-func (p *Pipeline) frameItems(start, end, size int, wantFeats bool) ([]backend.Item, error) {
+// shared render and perception caches at the given resolution and capture
+// condition — the one batch-assembly path every sweep (classification and
+// neighborhood analysis alike) goes through.
+func (p *Pipeline) frameItems(start, end, size int, cond string, wantFeats bool) ([]backend.Item, error) {
 	items := make([]backend.Item, 0, end-start)
 	for i := start; i < end; i++ {
-		ex, err := p.cache.Example(i, size)
+		ex, err := p.cache.CondExample(i, size, cond)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -154,6 +155,9 @@ func (e *Evaluator) EvaluateClassifier(ctx context.Context, c Classifier, opts L
 // cancellation) stops all workers and is returned.
 func (e *Evaluator) EvaluateBackend(ctx context.Context, b backend.Backend, opts LLMOptions) (*metrics.ClassReport, error) {
 	p := e.pipe
+	if !dataset.ValidCondition(opts.Condition) {
+		return nil, fmt.Errorf("core: unknown capture condition %q (have %v)", opts.Condition, dataset.Conditions())
+	}
 	caps := b.Capabilities()
 	n := p.Study.Len()
 	if opts.FrameLimit > 0 && opts.FrameLimit < n {
@@ -209,7 +213,7 @@ func (e *Evaluator) EvaluateBackend(ctx context.Context, b backend.Backend, opts
 				if end > n {
 					end = n
 				}
-				items, err := p.frameItems(start, end, size, caps.PerceivedFeatures)
+				items, err := p.frameItems(start, end, size, opts.Condition, caps.PerceivedFeatures)
 				if err != nil {
 					fail(err)
 					return
@@ -489,7 +493,7 @@ func (e *Evaluator) classifyGroups(ctx context.Context, b backend.Backend, group
 					return
 				}
 				start := groups[gi] * FramesPerCoordinate
-				items, err := p.frameItems(start, start+FramesPerCoordinate, size, caps.PerceivedFeatures)
+				items, err := p.frameItems(start, start+FramesPerCoordinate, size, "", caps.PerceivedFeatures)
 				if err != nil {
 					fail(err)
 					return

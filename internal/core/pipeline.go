@@ -51,6 +51,15 @@ type Config struct {
 	// renders are persisted for every later run. Pipelines with a
 	// StoreDir own the store and must be Closed.
 	StoreDir string
+	// Morphology names the procedural world family the corpus counties
+	// are generated from (world.Names); empty keeps the legacy study
+	// world.
+	Morphology string
+	// Condition names the corpus-level capture condition
+	// (dataset.Conditions); empty or "clean" renders clean frames.
+	// Supervised baselines train on the conditioned corpus; evaluation
+	// sweeps can override per sweep via LLMOptions.Condition.
+	Condition string
 }
 
 func (c Config) withDefaults() Config {
@@ -93,7 +102,12 @@ type Pipeline struct {
 // NewPipeline assembles the corpus and annotations.
 func NewPipeline(cfg Config) (*Pipeline, error) {
 	cfg = cfg.withDefaults()
-	study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: cfg.Coordinates, Seed: cfg.Seed})
+	study, err := dataset.BuildStudy(dataset.StudyConfig{
+		Coordinates: cfg.Coordinates,
+		Seed:        cfg.Seed,
+		Morphology:  cfg.Morphology,
+		Condition:   cfg.Condition,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -358,6 +372,11 @@ type LLMOptions struct {
 	Temperature, TopP float64
 	// FrameLimit caps the number of frames evaluated (0 = all).
 	FrameLimit int
+	// Condition overrides the capture condition frames are evaluated
+	// under: empty inherits the corpus's condition, dataset.ConditionClean
+	// forces clean frames, any other registered condition degrades the
+	// cached clean renders — the train-clean/test-degraded knob.
+	Condition string
 }
 
 // backendOptions lowers the sweep options to the backend layer's request

@@ -35,11 +35,21 @@ type RenderCache struct {
 	// persist is the optional durable tier; nil for RAM-only caches.
 	persist *store.Store
 
-	mu     sync.Mutex
-	bySize map[int][]*renderSlot
+	mu    sync.Mutex
+	slots map[slotKey][]*renderSlot
 
 	renders   atomic.Int64
 	storeHits atomic.Int64
+}
+
+// slotKey addresses one cached rendition plane: a resolution plus the
+// capture condition applied on top of the clean render ("" = clean).
+// The persistent store only ever holds the clean plane — conditions are
+// cheap pure functions of it, so degraded frames are derived per
+// process, never persisted, and the store stays condition-agnostic.
+type slotKey struct {
+	size int
+	cond string
 }
 
 type renderSlot struct {
@@ -50,15 +60,17 @@ type renderSlot struct {
 
 // NewRenderCache builds an empty cache over the study.
 func NewRenderCache(s *Study) *RenderCache {
-	return &RenderCache{study: s, bySize: make(map[int][]*renderSlot)}
+	return &RenderCache{study: s, slots: make(map[slotKey][]*renderSlot)}
 }
 
 // NewPersistentRenderCache builds a cache whose misses first consult
 // (and whose fresh renders populate) the given frame store. The caller
 // keeps ownership of the store and must keep it open for the cache's
-// lifetime. A nil store degrades to a RAM-only cache.
+// lifetime. A nil store degrades to a RAM-only cache. Only clean frames
+// flow through the store; capture conditions apply after the persistent
+// tier.
 func NewPersistentRenderCache(s *Study, st *store.Store) *RenderCache {
-	return &RenderCache{study: s, persist: st, bySize: make(map[int][]*renderSlot)}
+	return &RenderCache{study: s, persist: st, slots: make(map[slotKey][]*renderSlot)}
 }
 
 // Study returns the corpus the cache renders from.
@@ -81,18 +93,18 @@ func (c *RenderCache) frameKey(idx, size int) store.Key {
 	return store.FrameKey(sc.Point.Coordinate, sc.Heading, size, sc.Seed)
 }
 
-func (c *RenderCache) slot(idx, size int) (*renderSlot, error) {
+func (c *RenderCache) slot(idx int, key slotKey) (*renderSlot, error) {
 	if idx < 0 || idx >= len(c.study.Frames) {
 		return nil, fmt.Errorf("dataset: frame index %d out of range [0,%d)", idx, len(c.study.Frames))
 	}
-	if size <= 0 {
-		return nil, fmt.Errorf("dataset: render size must be positive, got %d", size)
+	if key.size <= 0 {
+		return nil, fmt.Errorf("dataset: render size must be positive, got %d", key.size)
 	}
 	c.mu.Lock()
-	slots := c.bySize[size]
+	slots := c.slots[key]
 	if slots == nil {
 		slots = make([]*renderSlot, len(c.study.Frames))
-		c.bySize[size] = slots
+		c.slots[key] = slots
 	}
 	if slots[idx] == nil {
 		slots[idx] = &renderSlot{}
@@ -102,11 +114,68 @@ func (c *RenderCache) slot(idx, size int) (*renderSlot, error) {
 	return s, nil
 }
 
-// Example returns the cached render of one frame at size×size pixels,
-// rendering it on first use. Concurrent calls for the same (frame, size)
-// render exactly once; the loser blocks until the winner finishes.
+// resolveCondition maps a caller's condition override to the cache
+// plane: "" inherits the study's corpus-level condition, ConditionClean
+// forces the clean plane (overriding a degraded corpus), anything else
+// names its own plane.
+func (c *RenderCache) resolveCondition(cond string) string {
+	if cond == "" {
+		cond = c.study.Condition
+	}
+	if cond == ConditionClean {
+		cond = ""
+	}
+	return cond
+}
+
+// Example returns the cached render of one frame at size×size pixels
+// under the study's capture condition, rendering it on first use.
+// Concurrent calls for the same (frame, size) render exactly once; the
+// loser blocks until the winner finishes.
 func (c *RenderCache) Example(idx, size int) (Example, error) {
-	s, err := c.slot(idx, size)
+	return c.CondExample(idx, size, "")
+}
+
+// CondExample is Example with an evaluation-time condition override:
+// empty inherits the study's condition, ConditionClean forces clean
+// frames, any other registered condition degrades the cached clean
+// render under it (derived once per (frame, size, condition), cached,
+// byte-identical to Study.RenderExamples on a corpus built with that
+// condition). The clean base render — and only it — flows through the
+// persistent store tier.
+func (c *RenderCache) CondExample(idx, size int, cond string) (Example, error) {
+	eff := c.resolveCondition(cond)
+	if eff == "" {
+		return c.cleanExample(idx, size)
+	}
+	if !ValidCondition(eff) {
+		return Example{}, fmt.Errorf("dataset: unknown capture condition %q (have %v)", eff, Conditions())
+	}
+	s, err := c.slot(idx, slotKey{size: size, cond: eff})
+	if err != nil {
+		return Example{}, err
+	}
+	s.once.Do(func() {
+		base, err := c.cleanExample(idx, size)
+		if err != nil {
+			s.err = err
+			return
+		}
+		img, err := c.study.conditioned(base.ID, eff, base.Image)
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.ex = &Example{ID: base.ID, Image: img, Objects: c.study.Frames[idx].Scene.Objects}
+	})
+	return s.example()
+}
+
+// cleanExample serves the clean rendition plane: persistent store first,
+// then a fresh render (persisted for the next process when a store is
+// attached).
+func (c *RenderCache) cleanExample(idx, size int) (Example, error) {
+	s, err := c.slot(idx, slotKey{size: size})
 	if err != nil {
 		return Example{}, err
 	}
@@ -138,10 +207,15 @@ func (c *RenderCache) Example(idx, size int) (Example, error) {
 		}
 		s.ex = &Example{ID: fr.Scene.ID, Image: img, Objects: fr.Scene.Objects}
 	})
+	return s.example()
+}
+
+// example snapshots a resolved slot for a caller: shared Image, fresh
+// Objects copy.
+func (s *renderSlot) example() (Example, error) {
 	if s.err != nil {
 		return Example{}, s.err
 	}
-	// Fresh Objects copy per caller; the Image is shared.
 	objs := make([]scene.Object, len(s.ex.Objects))
 	copy(objs, s.ex.Objects)
 	return Example{ID: s.ex.ID, Image: s.ex.Image, Objects: objs}, nil

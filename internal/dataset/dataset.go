@@ -14,6 +14,7 @@ import (
 	"nbhd/internal/geo"
 	"nbhd/internal/render"
 	"nbhd/internal/scene"
+	"nbhd/internal/world"
 )
 
 // StudyImages is the paper's corpus size.
@@ -38,7 +39,16 @@ type StudyConfig struct {
 	// Seed drives county generation, sampling, and scene generation.
 	Seed int64
 	// Priors optionally overrides the scene generator's presence priors.
+	// When nil, a Morphology's own co-occurrence priors apply; without a
+	// Morphology the calibrated defaults do.
 	Priors *scene.Priors
+	// Morphology names the procedural world family the counties are
+	// generated from (world.Names); empty keeps the legacy StudyCounties
+	// world.
+	Morphology string
+	// Condition names the capture condition every rendered frame is
+	// degraded under (Conditions); empty or "clean" renders clean frames.
+	Condition string
 }
 
 // Study is the assembled corpus.
@@ -47,7 +57,13 @@ type Study struct {
 	Frames []Frame
 	// Rural and Urban are the generated counties.
 	Rural, Urban *geo.County
-	seed         int64
+	// Morphology is the world family the counties came from ("" for the
+	// legacy study world).
+	Morphology string
+	// Condition is the corpus-level capture condition applied to every
+	// render ("" or "clean" for clean frames).
+	Condition string
+	seed      int64
 }
 
 // BuildStudy generates the two synthetic counties, segments all roadways
@@ -61,9 +77,27 @@ func BuildStudy(cfg StudyConfig) (*Study, error) {
 	if coords < 1 {
 		return nil, fmt.Errorf("dataset: coordinate count must be >= 1, got %d", coords)
 	}
-	rural, urban, err := geo.StudyCounties(cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: %w", err)
+	if !ValidCondition(cfg.Condition) {
+		return nil, fmt.Errorf("dataset: unknown capture condition %q (have %v)", cfg.Condition, Conditions())
+	}
+	priors := cfg.Priors
+	var rural, urban *geo.County
+	var err error
+	if cfg.Morphology == "" {
+		rural, urban, err = geo.StudyCounties(cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+	} else {
+		w, werr := world.Generate(world.Config{Family: cfg.Morphology, Seed: cfg.Seed})
+		if werr != nil {
+			return nil, fmt.Errorf("dataset: %w", werr)
+		}
+		rural, urban = w.Rural, w.Urban
+		if priors == nil {
+			p := w.Priors
+			priors = &p
+		}
 	}
 	ruralFrame, urbanFrame, err := geo.SampleFrame(rural, urban)
 	if err != nil {
@@ -87,8 +121,12 @@ func BuildStudy(cfg StudyConfig) (*Study, error) {
 		return nil, fmt.Errorf("dataset: requested %d coordinates but sampling frame has only %d points", coords, len(pool))
 	}
 
-	gen := scene.NewGenerator(&scene.GenConfig{Priors: cfg.Priors})
-	study := &Study{Rural: rural, Urban: urban, seed: cfg.Seed}
+	gen := scene.NewGenerator(&scene.GenConfig{Priors: priors})
+	condition := cfg.Condition
+	if condition == ConditionClean {
+		condition = ""
+	}
+	study := &Study{Rural: rural, Urban: urban, Morphology: cfg.Morphology, Condition: condition, seed: cfg.Seed}
 	study.Frames = make([]Frame, 0, coords*4)
 	for i := 0; i < coords; i++ {
 		sel := pool[idx[i]]
@@ -218,6 +256,8 @@ func (e *Example) Presence() [scene.NumIndicators]bool {
 }
 
 // RenderExamples rasterizes the given frame indices at size×size pixels.
+// A corpus built with a capture Condition degrades every render under it
+// (ground-truth boxes are untouched — no condition moves geometry).
 func (s *Study) RenderExamples(indices []int, size int) ([]Example, error) {
 	out := make([]Example, 0, len(indices))
 	for _, i := range indices {
@@ -229,9 +269,28 @@ func (s *Study) RenderExamples(indices []int, size int) ([]Example, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: render %s: %w", fr.Scene.ID, err)
 		}
+		img, err = s.conditioned(fr.Scene.ID, s.Condition, img)
+		if err != nil {
+			return nil, err
+		}
 		objs := make([]scene.Object, len(fr.Scene.Objects))
 		copy(objs, fr.Scene.Objects)
 		out = append(out, Example{ID: fr.Scene.ID, Image: img, Objects: objs})
+	}
+	return out, nil
+}
+
+// conditioned degrades one rendered frame under the named capture
+// condition with the study's deterministic per-frame seed — the single
+// seed-derivation point shared by RenderExamples and the render cache,
+// so every tier produces byte-identical degraded frames.
+func (s *Study) conditioned(frameID, condition string, img *render.Image) (*render.Image, error) {
+	if condition == "" || condition == ConditionClean {
+		return img, nil
+	}
+	out, err := ApplyCondition(condition, img, ConditionSeed(s.seed, frameID, condition))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: condition %s for %s: %w", condition, frameID, err)
 	}
 	return out, nil
 }

@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"nbhd/internal/world"
+)
+
+// MatrixConfig parameterizes a robustness matrix run: the builtin
+// configuration every per-morphology spec is built from, and the world
+// families to sweep.
+type MatrixConfig struct {
+	// Builtin seeds every per-morphology robustness spec (its Morphology
+	// field is overridden per family; MatrixKinds/MatrixConditions
+	// restrict the grid).
+	Builtin BuiltinConfig
+	// Morphologies are the world families swept; empty defaults to every
+	// registered family. The empty-string family means the legacy study
+	// world.
+	Morphologies []string
+	// Runner configures each per-morphology run (worker budget,
+	// checkpoint).
+	Runner RunnerConfig
+}
+
+// MatrixCell is one (morphology, condition, backend) measurement
+// checked against the accuracy envelope.
+type MatrixCell struct {
+	Morphology string  `json:"morphology"`
+	Condition  string  `json:"condition"`
+	Backend    string  `json:"backend"`
+	Accuracy   float64 `json:"accuracy"`
+	Floor      float64 `json:"floor"`
+	Pass       bool    `json:"pass"`
+}
+
+// MatrixResult is a completed robustness matrix: every cell in
+// deterministic order (morphologies as configured, conditions in sweep
+// order, backends in canonical kind order) plus the saved run names.
+type MatrixResult struct {
+	Cells []MatrixCell `json:"cells"`
+	// Runs names the per-morphology run artifacts saved to the store
+	// (empty when no store was attached).
+	Runs []string `json:"runs,omitempty"`
+	// AllPass reports whether every cell cleared its envelope floor.
+	AllPass bool `json:"all_pass"`
+}
+
+// Failures returns the cells below their envelope floor.
+func (m *MatrixResult) Failures() []MatrixCell {
+	var out []MatrixCell
+	for _, c := range m.Cells {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// matrixRunName names one morphology's run artifact.
+func matrixRunName(family string) string {
+	if family == "" {
+		return "robustness"
+	}
+	return "robustness-" + family
+}
+
+// RunMatrix executes the full robustness matrix: one robustness spec per
+// morphology family, each sweeping every selected backend kind under
+// every selected capture condition, scored cell by cell against the
+// accuracy envelope. Each morphology's run is saved to the store (one
+// diffable artifact per family) when one is attached; the sink receives
+// every underlying runner event. The matrix is deterministic: the same
+// config and seed produce byte-identical run artifacts and the same
+// cells in the same order.
+func RunMatrix(ctx context.Context, cfg MatrixConfig, store *Store, sink Sink) (*MatrixResult, error) {
+	morphologies := cfg.Morphologies
+	if len(morphologies) == 0 {
+		morphologies = world.Names()
+	}
+	runner := NewRunner(cfg.Runner)
+	out := &MatrixResult{AllPass: true}
+	for _, fam := range morphologies {
+		bc := cfg.Builtin
+		bc.Morphology = fam
+		spec, err := Builtin("robustness", bc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runner.Run(ctx, spec, sink)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: robustness matrix %s: %w", matrixRunName(fam), err)
+		}
+		if store != nil {
+			name := matrixRunName(fam)
+			if _, err := store.Save(name, res); err != nil {
+				return nil, err
+			}
+			out.Runs = append(out.Runs, name)
+		}
+		for _, sw := range res.Sweeps {
+			cond := strings.TrimPrefix(sw.Name, "cond:")
+			for _, rep := range sw.Reports {
+				_, _, _, acc := rep.Report.Averages()
+				floor := EnvelopeFloor(rep.Backend, cond)
+				cell := MatrixCell{
+					Morphology: fam,
+					Condition:  cond,
+					Backend:    rep.Backend,
+					Accuracy:   acc,
+					Floor:      floor,
+					Pass:       acc >= floor,
+				}
+				if !cell.Pass {
+					out.AllPass = false
+				}
+				out.Cells = append(out.Cells, cell)
+			}
+		}
+	}
+	return out, nil
+}

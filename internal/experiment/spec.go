@@ -15,7 +15,9 @@ import (
 
 	"nbhd/internal/backend"
 	"nbhd/internal/core"
+	"nbhd/internal/dataset"
 	"nbhd/internal/prompt"
+	"nbhd/internal/world"
 )
 
 // Spec declares one experiment end to end. Specs are plain data: they
@@ -60,6 +62,13 @@ type DatasetSpec struct {
 	// re-rendered, and this run's renders persist for the next (see
 	// internal/store).
 	StoreDir string `json:"store_dir,omitempty"`
+	// Morphology names the procedural world family the corpus counties
+	// come from (world.Names); empty keeps the legacy study world.
+	Morphology string `json:"morphology,omitempty"`
+	// Condition names the corpus-level capture condition every render is
+	// degraded under (dataset.Conditions); empty or "clean" renders clean
+	// frames. Sweeps can override per sweep via their options.
+	Condition string `json:"condition,omitempty"`
 }
 
 // coreConfig lowers the dataset spec to the pipeline's configuration.
@@ -70,6 +79,8 @@ func (d DatasetSpec) coreConfig() core.Config {
 		DetectorInputSize: d.DetectorInputSize,
 		LLMRenderSize:     d.LLMRenderSize,
 		StoreDir:          d.StoreDir,
+		Morphology:        d.Morphology,
+		Condition:         d.Condition,
 	}
 }
 
@@ -108,6 +119,11 @@ type OptionsSpec struct {
 	TopP        float64 `json:"top_p,omitempty"`
 	// FrameLimit caps the number of frames evaluated (0 = all).
 	FrameLimit int `json:"frame_limit,omitempty"`
+	// Condition overrides the capture condition frames are evaluated
+	// under (dataset.Conditions): empty inherits the dataset's condition,
+	// "clean" forces clean frames, anything else degrades the cached
+	// clean renders — the train-clean/test-degraded knob.
+	Condition string `json:"condition,omitempty"`
 }
 
 // llmOptions parses the spec options into the engine's sweep options.
@@ -116,6 +132,10 @@ func (o OptionsSpec) llmOptions() (core.LLMOptions, error) {
 		Temperature: o.Temperature,
 		TopP:        o.TopP,
 		FrameLimit:  o.FrameLimit,
+		Condition:   o.Condition,
+	}
+	if !dataset.ValidCondition(o.Condition) {
+		return core.LLMOptions{}, fmt.Errorf("unknown capture condition %q (have %v)", o.Condition, dataset.Conditions())
 	}
 	if o.Language != "" {
 		lang, err := prompt.ParseLanguage(o.Language)
@@ -155,6 +175,12 @@ func (s *Spec) Validate() error {
 	}
 	if len(s.Sweeps) == 0 && len(s.Analyses) == 0 {
 		return fmt.Errorf("experiment: spec %q has no sweeps or analyses", s.Name)
+	}
+	if s.Dataset.Morphology != "" && !world.Valid(s.Dataset.Morphology) {
+		return fmt.Errorf("experiment: spec %q dataset has unknown morphology %q (have %v)", s.Name, s.Dataset.Morphology, world.Names())
+	}
+	if !dataset.ValidCondition(s.Dataset.Condition) {
+		return fmt.Errorf("experiment: spec %q dataset has unknown capture condition %q (have %v)", s.Name, s.Dataset.Condition, dataset.Conditions())
 	}
 	registered := backend.Kinds()
 	known := make(map[string]bool, len(registered))

@@ -1,0 +1,97 @@
+package geo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RoadPlan is one road's geometry and character as proposed by a Layout
+// strategy, before lane classification and naming. Plans are the
+// morphology layer's vocabulary: a layout decides where roads go and how
+// urban they feel; GenerateNetwork turns plans into validated Roads.
+type RoadPlan struct {
+	// Points is the polyline geometry, at least two coordinates.
+	Points []Coordinate
+	// Urbanicity in [0,1] drives the scene generator's priors along the
+	// road.
+	Urbanicity float64
+	// Class, when non-zero, pins the road's lane classification;
+	// zero lets GenerateNetwork draw it from the setting's multilane
+	// share, like GenerateCounty does.
+	Class RoadClass
+}
+
+// Layout is a road-layout strategy: given the network's deterministic
+// random stream and its configuration, it proposes the county's road
+// plans. Morphology families (internal/world) are Layouts; the legacy
+// jittered grid of GenerateCounty is the implicit default.
+type Layout func(rng *rand.Rand, cfg *NetworkConfig) ([]RoadPlan, error)
+
+// GenerateNetwork builds a county road network from a layout strategy.
+// The layout proposes road plans; this function draws lane
+// classifications (where the plan left them open), assigns names, and
+// validates the result. Generation is deterministic in the seed: the
+// same (cfg, layout) pair always produces a byte-identical county.
+func GenerateNetwork(cfg NetworkConfig, layout Layout) (*County, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if layout == nil {
+		return nil, fmt.Errorf("geo: county %s: nil layout", cfg.Name)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	plans, err := layout(rng, &cfg)
+	if err != nil {
+		return nil, fmt.Errorf("geo: county %s: layout: %w", cfg.Name, err)
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("geo: county %s: layout produced no roads", cfg.Name)
+	}
+	county := &County{
+		Name:    cfg.Name,
+		Setting: cfg.Setting,
+		Origin:  cfg.Origin,
+		Roads:   make([]Road, 0, len(plans)),
+	}
+	mlShare := multilaneShare(cfg.Setting)
+	for i, plan := range plans {
+		road := Road{
+			ID:         i + 1,
+			Urbanicity: plan.Urbanicity,
+			Points:     plan.Points,
+			Class:      plan.Class,
+		}
+		if road.Class == 0 {
+			if rng.Float64() < mlShare {
+				road.Class = RoadMultiLane
+			} else {
+				road.Class = RoadSingleLane
+			}
+		}
+		if road.Class == RoadMultiLane {
+			road.LanesPerDirection = 2 + rng.Intn(2)
+			road.Name = fmt.Sprintf("US-%d", 100+rng.Intn(900))
+		} else {
+			road.LanesPerDirection = 1
+			road.Name = fmt.Sprintf("NC-%d", 1000+rng.Intn(9000))
+		}
+		county.Roads = append(county.Roads, road)
+	}
+	if err := county.Validate(); err != nil {
+		return nil, fmt.Errorf("geo: generated county failed validation: %w", err)
+	}
+	return county, nil
+}
+
+// OffsetFeet returns origin displaced by the given feet north and east —
+// the local planar frame every layout positions roads in.
+func OffsetFeet(origin Coordinate, northFeet, eastFeet float64) Coordinate {
+	return offsetFeet(origin, northFeet, eastFeet)
+}
+
+// UrbanicityRange returns the [lo,hi] urbanicity band roads of a setting
+// are drawn from — exported so layout strategies shade their gradients
+// inside the same bands GenerateCounty samples uniformly.
+func UrbanicityRange(s Setting) (lo, hi float64) {
+	return urbanicityRange(s)
+}

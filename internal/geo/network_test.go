@@ -1,0 +1,130 @@
+package geo
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func networkTestConfig() NetworkConfig {
+	return NetworkConfig{
+		Name:       "Testshire",
+		Setting:    SettingRural,
+		Origin:     Coordinate{Lat: 35.0, Lng: -79.0},
+		ExtentFeet: 10000,
+		RoadCount:  4,
+		Seed:       1,
+	}
+}
+
+func TestGenerateNetworkNilLayout(t *testing.T) {
+	_, err := GenerateNetwork(networkTestConfig(), nil)
+	if err == nil {
+		t.Fatal("GenerateNetwork with nil layout succeeded")
+	}
+	if !strings.Contains(err.Error(), "nil layout") {
+		t.Errorf("error %q should mention the nil layout", err)
+	}
+}
+
+// TestGenerateNetworkZeroRoads pins the zero-road-world degenerate case:
+// a layout that proposes nothing is an error, never an empty county.
+func TestGenerateNetworkZeroRoads(t *testing.T) {
+	empty := func(*rand.Rand, *NetworkConfig) ([]RoadPlan, error) {
+		return nil, nil
+	}
+	_, err := GenerateNetwork(networkTestConfig(), empty)
+	if err == nil {
+		t.Fatal("GenerateNetwork with empty layout succeeded")
+	}
+	if !strings.Contains(err.Error(), "no roads") {
+		t.Errorf("error %q should mention the empty layout", err)
+	}
+}
+
+func TestGenerateNetworkLayoutErrorPropagates(t *testing.T) {
+	failing := func(*rand.Rand, *NetworkConfig) ([]RoadPlan, error) {
+		return nil, errors.New("terrain unbuildable")
+	}
+	_, err := GenerateNetwork(networkTestConfig(), failing)
+	if err == nil {
+		t.Fatal("GenerateNetwork with failing layout succeeded")
+	}
+	if !strings.Contains(err.Error(), "layout") {
+		t.Errorf("error %q should attribute the failure to the layout", err)
+	}
+}
+
+func TestGenerateNetworkClassPinning(t *testing.T) {
+	cfg := networkTestConfig()
+	line := func(rng *rand.Rand, c *NetworkConfig) ([]RoadPlan, error) {
+		pts := []Coordinate{
+			OffsetFeet(c.Origin, 100, 100),
+			OffsetFeet(c.Origin, 100, 5000),
+		}
+		return []RoadPlan{
+			{Points: pts, Urbanicity: 0.4, Class: RoadMultiLane},
+			{Points: pts, Urbanicity: 0.4, Class: RoadSingleLane},
+			{Points: pts, Urbanicity: 0.4}, // open: drawn from the setting's share
+		}, nil
+	}
+	county, err := GenerateNetwork(cfg, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := county.Roads[0].Class; got != RoadMultiLane {
+		t.Errorf("pinned multilane road got class %v", got)
+	}
+	if county.Roads[0].LanesPerDirection < 2 {
+		t.Errorf("multilane road has %d lanes per direction", county.Roads[0].LanesPerDirection)
+	}
+	if got := county.Roads[1].Class; got != RoadSingleLane {
+		t.Errorf("pinned single-lane road got class %v", got)
+	}
+	if got := county.Roads[2].Class; got != RoadSingleLane && got != RoadMultiLane {
+		t.Errorf("open road got class %v", got)
+	}
+	if err := county.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateNetworkInvalidConfig(t *testing.T) {
+	cfg := networkTestConfig()
+	cfg.RoadCount = 0
+	ok := func(rng *rand.Rand, c *NetworkConfig) ([]RoadPlan, error) {
+		return []RoadPlan{{
+			Points:     []Coordinate{c.Origin, OffsetFeet(c.Origin, 100, 100)},
+			Urbanicity: 0.5,
+		}}, nil
+	}
+	if _, err := GenerateNetwork(cfg, ok); err == nil {
+		t.Error("GenerateNetwork accepted an invalid config")
+	}
+}
+
+func TestOffsetFeetRoundTrip(t *testing.T) {
+	origin := Coordinate{Lat: 35.0, Lng: -79.0}
+	p := OffsetFeet(origin, 5280, 5280)
+	if d := origin.DistanceFeet(Coordinate{Lat: p.Lat, Lng: origin.Lng}); d < 5200 || d > 5360 {
+		t.Errorf("north displacement %f ft, want ~5280", d)
+	}
+	if d := origin.DistanceFeet(Coordinate{Lat: origin.Lat, Lng: p.Lng}); d < 5200 || d > 5360 {
+		t.Errorf("east displacement %f ft, want ~5280", d)
+	}
+}
+
+func TestUrbanicityRangeBands(t *testing.T) {
+	rLo, rHi := UrbanicityRange(SettingRural)
+	uLo, uHi := UrbanicityRange(SettingUrban)
+	if rLo >= rHi || uLo >= uHi {
+		t.Fatalf("degenerate bands: rural [%g,%g], urban [%g,%g]", rLo, rHi, uLo, uHi)
+	}
+	if rLo < 0 || uHi > 1 {
+		t.Errorf("bands escape [0,1]: rural [%g,%g], urban [%g,%g]", rLo, rHi, uLo, uHi)
+	}
+	if uLo <= rLo || uHi <= rHi {
+		t.Errorf("urban band should sit above rural: rural [%g,%g], urban [%g,%g]", rLo, rHi, uLo, uHi)
+	}
+}

@@ -40,16 +40,27 @@ type BuiltinSettings struct {
 	APIKey      string `json:"api_key,omitempty"`
 	TrainEpochs int    `json:"train_epochs,omitempty"`
 	Quantized   bool   `json:"quantized,omitempty"`
+	// Morphology and Condition pick the corpus world family and capture
+	// condition for builtin jobs; MatrixKinds and MatrixConditions
+	// restrict the robustness matrix grid.
+	Morphology       string   `json:"morphology,omitempty"`
+	Condition        string   `json:"condition,omitempty"`
+	MatrixKinds      []string `json:"matrix_kinds,omitempty"`
+	MatrixConditions []string `json:"matrix_conditions,omitempty"`
 }
 
 func (b BuiltinSettings) experimentConfig() experiment.BuiltinConfig {
 	return experiment.BuiltinConfig{
-		Coordinates: b.Coordinates,
-		Seed:        b.Seed,
-		BaseURL:     b.BaseURL,
-		APIKey:      b.APIKey,
-		TrainEpochs: b.TrainEpochs,
-		Quantized:   b.Quantized,
+		Coordinates:      b.Coordinates,
+		Seed:             b.Seed,
+		BaseURL:          b.BaseURL,
+		APIKey:           b.APIKey,
+		TrainEpochs:      b.TrainEpochs,
+		Quantized:        b.Quantized,
+		Morphology:       b.Morphology,
+		Condition:        b.Condition,
+		MatrixKinds:      b.MatrixKinds,
+		MatrixConditions: b.MatrixConditions,
 	}
 }
 

@@ -75,6 +75,30 @@ func (m *Image) Crop(r scene.Rect) (*Image, error) {
 	return out, nil
 }
 
+// FillRect paints the pixel rectangle [x0,x1)×[y0,y1) with a solid
+// color, clamping the bounds to the image (a full-frame or larger rect
+// fills everything; an inverted or empty rect fills nothing). The
+// degradation suite's occluders are FillRects.
+func (m *Image) FillRect(x0, y0, x1, y1 int, r, g, b float32) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > m.W {
+		x1 = m.W
+	}
+	if y1 > m.H {
+		y1 = m.H
+	}
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			m.SetRGB(x, y, r, g, b)
+		}
+	}
+}
+
 // RotateRect maps a normalized bbox through the same clockwise k*90°
 // rotation as Rotate90, so ground-truth boxes stay aligned with augmented
 // images.

@@ -24,8 +24,16 @@ type LoadgenConfig struct {
 	// Backend is the route to drive.
 	Backend string
 	// Frames is how many distinct dataset frame indices the replay
-	// cycles through.
+	// cycles through. Ignored when Mix is set.
 	Frames int
+	// Mix, when non-empty, replaces the index-addressed replay with a
+	// heterogeneous blend: each request draws one entry (uniformly
+	// round-robin, or Zipf-skewed under Skew) and sends its pre-built
+	// frame reference — typically uploaded renders from several world
+	// morphologies, which gives a fleet's consistent-hash router
+	// genuinely distinct shard keys instead of one corpus's. The report
+	// counts responses per entry label.
+	Mix []LoadgenMix
 	// Requests is the total request count; Concurrency the number of
 	// concurrent clients issuing them.
 	Requests    int
@@ -52,6 +60,14 @@ type LoadgenConfig struct {
 	// replica mid-replay. It runs on a worker goroutine; slow work
 	// belongs in a goroutine of its own.
 	OnHalfway func()
+}
+
+// LoadgenMix is one entry of a heterogeneous replay blend: a label for
+// the report's per-entry counts plus the frame reference every draw of
+// this entry sends.
+type LoadgenMix struct {
+	Label string
+	Frame FrameRef
 }
 
 // NewLoadgenClient builds the pooled HTTP client Loadgen uses by
@@ -101,6 +117,9 @@ type LoadgenReport struct {
 	// FailoverServed counts responses the router served from a ring
 	// successor after the owner failed (X-Fleet-Failover header).
 	FailoverServed int64 `json:"failover_served,omitempty"`
+	// MixCounts breaks successful responses down by mix entry label;
+	// empty for index-addressed replays.
+	MixCounts map[string]int64 `json:"mix_counts,omitempty"`
 }
 
 // Loadgen replays a classification sweep as concurrent client traffic
@@ -110,9 +129,18 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 	if cfg.BaseURL == "" || cfg.Backend == "" {
 		return nil, fmt.Errorf("serve: loadgen needs a base URL and a backend name")
 	}
-	if cfg.Frames < 1 || cfg.Requests < 1 || cfg.Concurrency < 1 {
+	domain := cfg.Frames
+	if len(cfg.Mix) > 0 {
+		domain = len(cfg.Mix)
+		for i, m := range cfg.Mix {
+			if m.Label == "" {
+				return nil, fmt.Errorf("serve: loadgen mix entry %d has no label", i)
+			}
+		}
+	}
+	if domain < 1 || cfg.Requests < 1 || cfg.Concurrency < 1 {
 		return nil, fmt.Errorf("serve: loadgen needs positive frames/requests/concurrency (got %d/%d/%d)",
-			cfg.Frames, cfg.Requests, cfg.Concurrency)
+			domain, cfg.Requests, cfg.Concurrency)
 	}
 	if cfg.Skew < 0 || (cfg.Skew > 0 && cfg.Skew <= 1) {
 		return nil, fmt.Errorf("serve: loadgen skew must be 0 (uniform) or > 1 (Zipf exponent), got %g", cfg.Skew)
@@ -135,6 +163,7 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 
 		replicaMu     sync.Mutex
 		replicaCounts map[string]int64
+		mixCounts     map[string]int64
 
 		halfway sync.Once
 
@@ -160,7 +189,7 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 			// sequence so runs are reproducible.
 			var zipf *rand.Zipf
 			if cfg.Skew > 0 {
-				zipf = rand.NewZipf(rand.New(rand.NewSource(int64(w)+1)), cfg.Skew, 1, uint64(cfg.Frames-1))
+				zipf = rand.NewZipf(rand.New(rand.NewSource(int64(w)+1)), cfg.Skew, 1, uint64(domain-1))
 			}
 			for {
 				i := next.Add(1) - 1
@@ -170,12 +199,18 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 				if cfg.OnHalfway != nil && i >= int64(cfg.Requests)/2 {
 					halfway.Do(cfg.OnHalfway)
 				}
-				frame := int(i) % cfg.Frames
+				frame := int(i) % domain
 				if zipf != nil {
 					frame = int(zipf.Uint64())
 				}
+				ref := FrameRef{Index: &frame}
+				label := ""
+				if len(cfg.Mix) > 0 {
+					ref = cfg.Mix[frame].Frame
+					label = cfg.Mix[frame].Label
+				}
 				t0 := time.Now()
-				resp, replica, failedOver, err := classifyOnce(runCtx, client, cfg, frame, &shed)
+				resp, replica, failedOver, err := classifyOnce(runCtx, client, cfg, ref, &shed)
 				if err != nil {
 					fail(fmt.Errorf("serve: loadgen request %d: %w", i, err))
 					return
@@ -190,12 +225,20 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 				if failedOver {
 					failovers.Add(1)
 				}
-				if replica != "" {
+				if replica != "" || label != "" {
 					replicaMu.Lock()
-					if replicaCounts == nil {
-						replicaCounts = make(map[string]int64)
+					if replica != "" {
+						if replicaCounts == nil {
+							replicaCounts = make(map[string]int64)
+						}
+						replicaCounts[replica]++
 					}
-					replicaCounts[replica]++
+					if label != "" {
+						if mixCounts == nil {
+							mixCounts = make(map[string]int64)
+						}
+						mixCounts[label]++
+					}
 					replicaMu.Unlock()
 				}
 			}
@@ -216,7 +259,7 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 		Backend:        cfg.Backend,
 		Requests:       cfg.Requests,
 		Concurrency:    cfg.Concurrency,
-		Frames:         cfg.Frames,
+		Frames:         domain,
 		Skew:           cfg.Skew,
 		DurationMS:     float64(elapsed) / float64(time.Millisecond),
 		ThroughputRPS:  float64(cfg.Requests) / elapsed.Seconds(),
@@ -226,6 +269,7 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 		Shed503:        shed.Load(),
 		ReplicaCounts:  replicaCounts,
 		FailoverServed: failovers.Load(),
+		MixCounts:      mixCounts,
 	}
 	if n := batchN.Load(); n > 0 {
 		rep.MeanBatch = float64(batchSum.Load()) / float64(n)
@@ -238,8 +282,8 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenReport, error) {
 // the same llmclient helper that paces llmserve retries). The returned
 // replica and failover flags come from the fleet router's X-Fleet-*
 // headers and are empty/false against a single gateway.
-func classifyOnce(ctx context.Context, client *http.Client, cfg LoadgenConfig, frame int, shed *atomic.Int64) (*ClassifyResponse, string, bool, error) {
-	payload, err := json.Marshal(ClassifyRequest{Backend: cfg.Backend, Frame: FrameRef{Index: &frame}})
+func classifyOnce(ctx context.Context, client *http.Client, cfg LoadgenConfig, ref FrameRef, shed *atomic.Int64) (*ClassifyResponse, string, bool, error) {
+	payload, err := json.Marshal(ClassifyRequest{Backend: cfg.Backend, Frame: ref})
 	if err != nil {
 		return nil, "", false, err
 	}

@@ -1,0 +1,102 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/base64"
+	"testing"
+
+	"nbhd/internal/backend"
+	"nbhd/internal/dataset"
+	"nbhd/internal/serve"
+)
+
+// morphologyMix renders one frame per world family into upload-addressed
+// mix entries — the heterogeneous blend -loadgen-mix replays.
+func morphologyMix(t *testing.T, families []string, size int) []serve.LoadgenMix {
+	t.Helper()
+	mix := make([]serve.LoadgenMix, 0, len(families))
+	for _, fam := range families {
+		study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 1, Seed: 5, Morphology: fam})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exs, err := study.RenderExamples([]int{0}, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix = append(mix, serve.LoadgenMix{
+			Label: fam,
+			Frame: serve.FrameRef{
+				ImageF32Base64: base64.StdEncoding.EncodeToString(exs[0].Image.EncodeRawF32()),
+				Width:          size,
+				Height:         size,
+			},
+		})
+	}
+	return mix
+}
+
+// TestLoadgenMix drives a gateway with a two-morphology upload blend and
+// checks the per-label accounting: every request lands on a mix entry,
+// the counts cover all labels, and the report's frame domain is the mix
+// size.
+func TestLoadgenMix(t *testing.T) {
+	fb := &fakeBackend{name: "fake"}
+	_, ts := gateway(t, serve.Config{CacheSize: -1}, serve.Options{
+		Backends: map[string]backend.Backend{"fake": fb},
+	})
+
+	mix := morphologyMix(t, []string{"grid", "coastal"}, 16)
+	rep, err := serve.Loadgen(context.Background(), serve.LoadgenConfig{
+		BaseURL:     ts.URL,
+		Backend:     "fake",
+		Mix:         mix,
+		Requests:    20,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != len(mix) {
+		t.Errorf("report frames = %d, want mix size %d", rep.Frames, len(mix))
+	}
+	var total int64
+	for _, m := range mix {
+		n := rep.MixCounts[m.Label]
+		if n == 0 {
+			t.Errorf("mix label %q got no traffic: %v", m.Label, rep.MixCounts)
+		}
+		total += n
+	}
+	if total != int64(rep.Requests) {
+		t.Errorf("mix counts sum to %d, want %d", total, rep.Requests)
+	}
+}
+
+// TestLoadgenMixDistinctPayloads pins what the blend exists for: each
+// morphology renders distinct pixels, so the gateway's content-addressed
+// upload key ("img:" + pixel hash) — and with it a fleet router's shard
+// key — differs per morphology instead of replaying one corpus's.
+func TestLoadgenMixDistinctPayloads(t *testing.T) {
+	mix := morphologyMix(t, []string{"grid", "radial", "organic", "coastal"}, 16)
+	seen := make(map[string]string, len(mix))
+	for _, m := range mix {
+		if prev, ok := seen[m.Frame.ImageF32Base64]; ok {
+			t.Errorf("morphologies %s and %s rendered identical upload payloads", prev, m.Label)
+		}
+		seen[m.Frame.ImageF32Base64] = m.Label
+	}
+}
+
+func TestLoadgenMixValidation(t *testing.T) {
+	_, err := serve.Loadgen(context.Background(), serve.LoadgenConfig{
+		BaseURL:     "http://127.0.0.1:0",
+		Backend:     "fake",
+		Mix:         []serve.LoadgenMix{{Label: ""}},
+		Requests:    1,
+		Concurrency: 1,
+	})
+	if err == nil {
+		t.Fatal("Loadgen accepted a mix entry without a label")
+	}
+}

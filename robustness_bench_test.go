@@ -1,0 +1,41 @@
+// Robustness-suite benchmarks: the per-frame cost of the capture-
+// condition degradation ops. The ops run once per (frame, size,
+// condition) cache plane, so their cost bounds how much slower a
+// degraded evaluation sweep is than a clean one on a cold cache.
+package nbhd
+
+import (
+	"fmt"
+	"testing"
+
+	"nbhd/internal/dataset"
+)
+
+// BenchmarkDegradationOps times each registered capture condition over
+// one rendered frame at the detector input resolution.
+func BenchmarkDegradationOps(b *testing.B) {
+	study, err := dataset.BuildStudy(dataset.StudyConfig{Coordinates: 1, Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exs, err := study.RenderExamples([]int{0}, benchDetectorSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := exs[0].Image
+	for _, cond := range dataset.Conditions() {
+		if cond == dataset.ConditionClean {
+			continue
+		}
+		b.Run(fmt.Sprintf("%s_%dpx", cond, benchDetectorSize), func(b *testing.B) {
+			seed := dataset.ConditionSeed(benchSeed, exs[0].ID, cond)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dataset.ApplyCondition(cond, img, seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
